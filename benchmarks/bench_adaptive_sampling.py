@@ -1,0 +1,92 @@
+"""Ablation: uncertainty-guided sampling vs a space-filling design.
+
+The paper's whole motivation is cutting the number of experiments.  This
+bench gives adaptive and Latin-hypercube collection the same simulation
+budget and compares the resulting model's error on a held-out probe set —
+active learning as the natural next step of the paper's methodology.
+
+Finding (recorded in EXPERIMENTS.md): on this smooth surrogate region the
+space-filling design is already near-optimal; adaptive collection is
+competitive but does not beat it.  Its payoff is concentrated sampling
+around walls/cliffs when evaluations are expensive and noisy.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.model_selection.metrics import harmonic_mean_relative_error
+from repro.models.neural import NeuralWorkloadModel
+from repro.workload.adaptive import AdaptiveSampler
+from repro.workload.analytic import AnalyticWorkloadModel
+from repro.workload.sampler import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    latin_hypercube,
+)
+
+SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 400, 600),
+        ParameterRange("default_threads", 2, 22),
+        ParameterRange("mfg_threads", 12, 20),
+        ParameterRange("web_threads", 14, 23),
+    ]
+)
+
+BUDGET = 48
+
+
+def _fit_and_score(dataset, probe_x, probe_y):
+    model = NeuralWorkloadModel(
+        hidden=(16, 8), error_threshold=0.003, max_epochs=8000, seed=0
+    )
+    log_y = np.log(np.maximum(dataset.y, 1e-6))
+    model.fit(dataset.x, log_y)
+    predicted = np.exp(model.predict(probe_x))
+    return float(harmonic_mean_relative_error(predicted, probe_y))
+
+
+def test_adaptive_vs_space_filling(benchmark):
+    def run():
+        surrogate = AnalyticWorkloadModel()
+        # A dense probe set defines "ground truth over the region".
+        probe = SampleCollector(surrogate).collect(
+            latin_hypercube(SPACE, 150, seed=99)
+        )
+        probe_y = np.maximum(probe.y, 1e-6)
+
+        adaptive = AdaptiveSampler(
+            surrogate,
+            SPACE,
+            n_initial=16,
+            batch_size=8,
+            n_candidates=300,
+            seed=1,
+        ).collect(budget=BUDGET)
+        adaptive_error = _fit_and_score(adaptive.dataset, probe.x, probe_y)
+
+        passive = SampleCollector(surrogate).collect(
+            latin_hypercube(SPACE, BUDGET, seed=1)
+        )
+        passive_error = _fit_and_score(passive, probe.x, probe_y)
+        return adaptive_error, passive_error, adaptive
+
+    adaptive_error, passive_error, adaptive = once(benchmark, run)
+
+    print()
+    print(f"adaptive sampling ({BUDGET} sims): error {100 * adaptive_error:.2f}%")
+    print(f"latin hypercube  ({BUDGET} sims): error {100 * passive_error:.2f}%")
+    print(adaptive.to_text())
+
+    # Honest finding: on this smooth, noiseless surrogate region a Latin
+    # hypercube is near-optimal, and uncertainty-guided collection ties or
+    # trails slightly — its value is localizing cliffs in noisy/expensive
+    # settings, not beating LHS everywhere.  The assertions pin the
+    # machinery (competitive error, multi-round convergence), not a win.
+    assert adaptive_error < 2.5 * passive_error
+    assert adaptive_error < 0.03
+    assert len(adaptive.rounds) >= 3
+    # The acquisition signal must decay as the model firms up.
+    spreads = [r.mean_candidate_spread for r in adaptive.rounds]
+    assert spreads[-1] < spreads[0]

@@ -1,0 +1,30 @@
+"""Figure 4: the parallel-slopes surface (manufacturing RT vs default x web).
+
+Asserts the paper's tuning lesson quantitatively: at web = 18, sweeping the
+default queue moves manufacturing response time far less than sweeping the
+web queue does — "it will be of no use ... to tune the default queue to
+achieve a better manufacturing response time".
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.experiments.surfaces import run_figure4
+
+
+def test_figure4_parallel_slopes(benchmark):
+    figure = once(benchmark, run_figure4)
+    print()
+    print(figure.to_text())
+
+    assert figure.matches_paper, figure.classification
+    assert figure.classification.insensitive_param == "default_threads"
+
+    surface = figure.surface
+    # The paper's wording: at web=18 the default axis is near-flat compared
+    # with the web axis.
+    along_default = surface.col_slice(18.0)
+    default_span = along_default.max() / along_default.min()
+    along_web = surface.row_slice(0.0)
+    web_span = along_web.max() / along_web.min()
+    assert web_span > 1.8 * default_span

@@ -1,0 +1,28 @@
+"""Figure 5: actual vs predicted values on the training set.
+
+The paper's point: "the MLP is loosely fit to the training set on purpose to
+avoid overfitting".  We regenerate the series and assert the loose fit —
+training predictions track the actuals but are *not* interpolated exactly.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.experiments.figures56 import run_figure5
+
+
+def test_figure5_training_series(benchmark):
+    figure = once(benchmark, run_figure5)
+    print()
+    print(figure.panel(0))
+
+    # ~40 training points per trial out of the 50-sample collection.
+    assert 35 <= figure.n_samples <= 45
+    assert figure.actual.shape == figure.predicted.shape
+
+    errors = figure.mean_relative_errors()
+    # Tracks the data: every indicator within ~15 % on average.
+    assert np.all(errors < 0.15)
+    # Loose on purpose: the fit is NOT an exact interpolation.
+    assert float(np.abs(figure.predicted - figure.actual).max()) > 0.0
+    assert errors.mean() > 1e-4

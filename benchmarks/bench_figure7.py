@@ -1,0 +1,37 @@
+"""Figure 7: the valley surface (dealer purchase RT vs default x web).
+
+Asserts the valley the paper describes: a trough in the web direction whose
+floor runs "from (default queue, web queue) = (0, 18) to (20, 20)" — the
+minimum moves as the two parameters are adjusted concurrently.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.experiments.surfaces import run_figure7
+
+
+def test_figure7_valley(benchmark):
+    figure = once(benchmark, run_figure7)
+    print()
+    print(figure.to_text())
+
+    assert figure.matches_paper, figure.classification
+    assert figure.classification.along_param == "web_threads"
+
+    surface = figure.surface
+    path = surface.valley_path()
+    # The floor starts near web 18 at default 0 ...
+    first_default, first_web, _ = path[0]
+    assert first_default == 0.0
+    assert 17.0 <= first_web <= 20.0
+    # ... and does not drift back below it by default 20 (the paper's floor
+    # ends at web 20).
+    last_default, last_web, _ = path[-1]
+    assert last_default == 20.0
+    assert last_web >= first_web
+
+    # Valley walls: the web-14 edge towers over the floor.
+    floor = min(z for _, _, z in path)
+    wall = surface.z[:, 0].max()
+    assert wall > 2.0 * floor

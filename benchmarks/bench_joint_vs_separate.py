@@ -1,0 +1,64 @@
+"""Ablation: one n-to-m network vs m separate n-to-1 networks (Section 3.2).
+
+The paper opts for a single joint network "in the belief that it will model
+the synthetic behavior of the application more accurately", accepting that
+"the prediction accuracy will suffer to a small extent".  This bench
+measures both sides of that trade.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.experiments import config as C
+from repro.model_selection.cross_validation import cross_validate
+from repro.models.neural import NeuralWorkloadModel
+
+
+def make_model(joint, trial):
+    # Output standardization is pinned on for both arms: the paper's
+    # "no need to standardize a single indicator" shortcut would otherwise
+    # change the meaning of the stopping threshold (which is expressed in
+    # scaled-space MSE) and confound the comparison.
+    return NeuralWorkloadModel(
+        hidden=C.TUNED_HIDDEN,
+        error_threshold=C.TUNED_ERROR_THRESHOLD,
+        max_epochs=C.TUNED_MAX_EPOCHS,
+        joint=joint,
+        standardize_outputs=True,
+        seed=C.MASTER_SEED + trial,
+    )
+
+
+def test_joint_vs_separate(benchmark, table2_data):
+    def run():
+        joint = cross_validate(
+            lambda t: make_model(True, t),
+            table2_data.x,
+            table2_data.y,
+            k=5,
+            seed=C.MASTER_SEED,
+        )
+        separate = cross_validate(
+            lambda t: make_model(False, t),
+            table2_data.x,
+            table2_data.y,
+            k=5,
+            seed=C.MASTER_SEED,
+        )
+        return joint, separate
+
+    joint, separate = once(benchmark, run)
+
+    print()
+    print(f"joint n-to-m:     error {100 * joint.overall_error:6.2f}%")
+    print(f"separate n-to-1:  error {100 * separate.overall_error:6.2f}%")
+
+    # Both approaches must land in the paper's accuracy band; the paper
+    # only claims a *small* difference between them, so we assert the two
+    # stay within a factor of 2.5 of each other rather than a winner.
+    assert joint.overall_accuracy >= 0.90
+    assert separate.overall_accuracy >= 0.90
+    ratio = max(joint.overall_error, separate.overall_error) / max(
+        min(joint.overall_error, separate.overall_error), 1e-9
+    )
+    assert ratio < 2.5

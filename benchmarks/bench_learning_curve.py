@@ -1,0 +1,43 @@
+"""Ablation: prediction error vs number of measured configurations.
+
+The paper's economics: experiments are the scarce resource ("minimize the
+test cases to reduce the amount of heuristic effort").  The learning curve
+shows what each additional measured configuration buys the model.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.experiments import config as C
+from repro.experiments.modeling import tuned_model
+from repro.model_selection.learning_curve import learning_curve
+
+SIZES = [15, 25, 35, 50]
+
+
+def test_learning_curve(benchmark, table2_data):
+    def run():
+        return learning_curve(
+            tuned_model,
+            table2_data.x,
+            table2_data.y,
+            sizes=SIZES,
+            k=5,
+            seed=C.MASTER_SEED,
+        )
+
+    curve = once(benchmark, run)
+
+    print()
+    print(curve.to_text())
+
+    # More samples never hurt much: the last point must be the best-or-near
+    # (within 20 % of the minimum, allowing CV noise).
+    best = min(curve.errors)
+    assert curve.errors[-1] <= 1.2 * best
+    # And the small-sample end must be visibly worse than the full set —
+    # the curve carries information.
+    assert curve.errors[0] > curve.errors[-1]
+    # The paper's ~50 samples land in the flat region: the error at 35
+    # samples is already within 2x of the error at 50.
+    assert curve.errors[2] <= 2.0 * curve.errors[-1] + 0.02

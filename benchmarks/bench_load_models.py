@@ -1,0 +1,109 @@
+"""Ablation: open-loop vs closed-loop load at saturation.
+
+The paper's driver is open-loop (fixed injection rate).  The loop
+discipline matters near saturation: an open system sheds load through
+timeouts while a closed population self-limits — its throughput obeys the
+interactive response-time law X <= N / (Z + R).  This bench runs both
+drivers against the same server and checks each regime's signature.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.workload.appserver import AppServer
+from repro.workload.closedloop import ClosedLoopDriver
+from repro.workload.database import Database
+from repro.workload.des import Simulator
+from repro.workload.distributions import Exponential
+from repro.workload.driver import LoadDriver
+from repro.workload.rng import StreamRegistry
+from repro.workload.transactions import standard_mix
+
+HORIZON = 12.0
+
+
+def _server(sim, streams):
+    database = Database(sim, connections=14, rng=streams.stream("db"))
+    mfg_db = Database(sim, connections=14, rng=streams.stream("mfgdb"))
+    return AppServer(
+        sim,
+        database,
+        mfg_threads=16,
+        web_threads=18,
+        default_threads=14,
+        rng=streams.stream("service"),
+        mfg_database=mfg_db,
+    )
+
+
+def run_open(rate):
+    sim = Simulator()
+    streams = StreamRegistry(7)
+    server = _server(sim, streams)
+    driver = LoadDriver(
+        sim,
+        standard_mix(),
+        injection_rate=rate,
+        handler=server.handle,
+        arrival_rng=streams.stream("arrivals"),
+        mix_rng=streams.stream("mix"),
+    )
+    driver.start()
+    sim.run_until(HORIZON)
+    completed = [t for t in driver.transactions if t.is_complete]
+    abandoned = sum(1 for t in driver.transactions if t.is_abandoned)
+    mean_rt = float(np.mean([t.response_time for t in completed]))
+    return len(completed) / HORIZON, mean_rt, abandoned
+
+
+def run_closed(population):
+    sim = Simulator()
+    streams = StreamRegistry(7)
+    server = _server(sim, streams)
+    driver = ClosedLoopDriver(
+        sim,
+        standard_mix(),
+        population=population,
+        handler=server.handle,
+        think_rng=streams.stream("think"),
+        mix_rng=streams.stream("mix"),
+        think_time=Exponential(mean=0.05),
+    )
+    driver.start()
+    sim.run_until(HORIZON)
+    completed = [t for t in driver.transactions if t.is_complete]
+    mean_rt = float(np.mean([t.response_time for t in completed]))
+    return len(completed) / HORIZON, mean_rt, driver
+
+
+def test_open_vs_closed_loop(benchmark):
+    def run():
+        return {
+            "open_moderate": run_open(450),
+            "open_overload": run_open(900),
+            "closed_small": run_closed(20),
+            "closed_large": run_closed(120),
+        }
+
+    results = once(benchmark, run)
+
+    print()
+    for name, values in results.items():
+        tps, rt = values[0], values[1]
+        print(f"{name:15s} throughput {tps:7.1f}/s  mean rt {1000 * rt:7.1f} ms")
+
+    # Open loop at 2x capacity: load shedding (abandonment) appears and
+    # goodput stays near the capacity ceiling rather than scaling with rate.
+    _, _, abandoned = results["open_overload"]
+    assert abandoned > 0
+    assert results["open_overload"][0] < 2 * results["open_moderate"][0]
+
+    # Closed loop: a larger population raises throughput sub-linearly and
+    # the interactive response-time law holds.
+    tps_small, rt_small, driver_small = results["closed_small"]
+    tps_large, rt_large, driver_large = results["closed_large"]
+    assert tps_large > tps_small
+    assert tps_large < 6 * tps_small  # 6x users, sub-6x throughput
+    assert tps_large <= driver_large.throughput_bound(rt_large) * 1.05
+    # Saturated closed systems trade response time, not queue length.
+    assert rt_large > rt_small

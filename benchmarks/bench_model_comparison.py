@@ -1,0 +1,62 @@
+"""Ablation: the neural model against every baseline family.
+
+The paper's Section 1 claim — "to successfully approximate a non-linear
+behavior with a linear model ... may not always be possible" — plus its
+conclusion's proposal to try polynomial and logarithmic functions next.
+Runs 5-fold CV for each model family on the Table 2 collection and asserts
+the neural model wins.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.experiments import config as C
+from repro.experiments.modeling import tuned_model
+from repro.model_selection.cross_validation import cross_validate
+from repro.models.linear import LinearWorkloadModel
+from repro.models.loglinear import LogLinearWorkloadModel
+from repro.models.polynomial import PolynomialWorkloadModel
+from repro.models.rbf import RBFWorkloadModel
+
+FAMILIES = {
+    "neural (paper)": tuned_model,
+    "linear [2,20,21]": lambda t: LinearWorkloadModel(),
+    "polynomial deg-2": lambda t: PolynomialWorkloadModel(degree=2),
+    "log-linear": lambda t: LogLinearWorkloadModel(),
+    "rbf": lambda t: RBFWorkloadModel(n_centers=25, seed=t),
+}
+
+
+def test_model_family_comparison(benchmark, table2_data):
+    def run():
+        return {
+            name: cross_validate(
+                factory,
+                table2_data.x,
+                table2_data.y,
+                k=5,
+                seed=C.MASTER_SEED,
+            )
+            for name, factory in FAMILIES.items()
+        }
+
+    reports = once(benchmark, run)
+
+    print()
+    print(f"{'model':20s} {'overall error':>14s} {'accuracy':>9s}")
+    for name, report in sorted(
+        reports.items(), key=lambda item: item[1].overall_error
+    ):
+        print(
+            f"{name:20s} {100 * report.overall_error:13.2f}% "
+            f"{100 * report.overall_accuracy:8.1f}%"
+        )
+
+    neural = reports["neural (paper)"]
+    # The paper's headline: ~95 % accuracy from the neural model.
+    assert neural.overall_accuracy >= 0.93
+    # And the non-linear claim: the neural model beats the linear family
+    # and every analytic baseline on this workload.
+    for name, report in reports.items():
+        if name != "neural (paper)":
+            assert neural.overall_error < report.overall_error, name

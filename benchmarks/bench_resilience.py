@@ -1,0 +1,65 @@
+"""Extension: disturbance resilience of tuned vs marginal configurations.
+
+A model-recommended configuration should not just score well in steady
+state — it should carry headroom.  This bench injects the same database
+stall into a tuned and a marginal configuration and asserts the tuned one
+degrades less and recovers, quantifying the advisor's value beyond the
+scoring function.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.workload.disturbances import DatabaseSlowdown
+from repro.workload.service import ThreeTierWorkload, WorkloadConfig
+from repro.workload.timeline import timeline_from_transactions
+
+DISTURBANCE = DatabaseSlowdown(start=8.0, duration=3.0, factor=4.0)
+TUNED = WorkloadConfig(480, 16, 16, 20)
+MARGINAL = WorkloadConfig(480, 9, 16, 15)
+
+
+def run_config(config):
+    workload = ThreeTierWorkload(
+        warmup=2.0, duration=16.0, seed=21, collect_transactions=True
+    )
+    metrics = workload.run(config, disturbances=[DISTURBANCE])
+    timeline = timeline_from_transactions(
+        metrics.transactions, interval=1.0, start=2.0
+    )
+    baseline_tps = timeline.baseline("effective_tps", until=8.0)
+    during = timeline.indicator("effective_tps")[
+        (timeline.times >= 8.0) & (timeline.times < 11.0)
+    ]
+    dip = 1.0 - float(np.nanmin(during)) / baseline_tps
+    recovery = timeline.recovery_time(
+        "effective_tps",
+        disturbance_end=11.0,
+        baseline_until=8.0,
+        tolerance=0.25,
+    )
+    return baseline_tps, dip, recovery
+
+
+def test_disturbance_resilience(benchmark):
+    def run():
+        return {"tuned": run_config(TUNED), "marginal": run_config(MARGINAL)}
+
+    results = once(benchmark, run)
+
+    print()
+    for label, (baseline, dip, recovery) in results.items():
+        print(
+            f"{label:9s} baseline {baseline:5.0f} tps, worst dip "
+            f"{100 * dip:3.0f}%, recovery "
+            f"{'never' if recovery is None else f'{recovery:.0f}s'}"
+        )
+
+    tuned_baseline, tuned_dip, tuned_recovery = results["tuned"]
+    marginal_baseline, marginal_dip, _ = results["marginal"]
+    # The tuned configuration performs better in steady state...
+    assert tuned_baseline > marginal_baseline
+    # ...and recovers from the stall within a few windows.
+    assert tuned_recovery is not None and tuned_recovery <= 4.0
+    # Both dip during a 4x database stall; the tuned one must not dip more.
+    assert tuned_dip <= marginal_dip + 0.10

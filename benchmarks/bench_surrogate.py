@@ -1,0 +1,61 @@
+"""Internal validity: the analytic surrogate against the simulator.
+
+The closed-form queueing model shares no code with the DES; agreement in the
+stable region cross-validates both implementations, and the speedup
+quantifies why the surrogate exists (bulk sweeps).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import once
+from repro.workload.analytic import AnalyticWorkloadModel
+from repro.workload.service import ThreeTierWorkload, WorkloadConfig
+
+STABLE_CONFIGS = [
+    WorkloadConfig(420, 14, 16, 18),
+    WorkloadConfig(480, 16, 16, 20),
+    WorkloadConfig(520, 12, 14, 19),
+    WorkloadConfig(450, 18, 20, 22),
+]
+
+
+def test_surrogate_tracks_simulator(benchmark):
+    def run():
+        simulator = ThreeTierWorkload(warmup=2.0, duration=10.0, seed=5)
+        surrogate = AnalyticWorkloadModel()
+        rows = []
+        for config in STABLE_CONFIGS:
+            t0 = time.perf_counter()
+            simulated = simulator.run(config).as_vector()
+            sim_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            analytic = surrogate.evaluate_vector(config)
+            model_seconds = time.perf_counter() - t0
+            rows.append((config, simulated, analytic, sim_seconds, model_seconds))
+        return rows
+
+    rows = once(benchmark, run)
+
+    print()
+    speedups = []
+    for config, simulated, analytic, sim_s, model_s in rows:
+        ratio = analytic[:4] / simulated[:4]
+        speedups.append(sim_s / max(model_s, 1e-9))
+        print(
+            f"inj={config.injection_rate:.0f} d={config.default_threads} "
+            f"w={config.web_threads}: RT ratio {ratio.round(2)}, "
+            f"tps {analytic[4]:.0f} vs {simulated[4]:.0f}, "
+            f"speedup {sim_s / max(model_s, 1e-9):.0f}x"
+        )
+
+    for _, simulated, analytic, *_ in rows:
+        # Response times within a factor of 2 in the stable region.
+        np.testing.assert_array_less(analytic[:4], simulated[:4] * 2.0)
+        np.testing.assert_array_less(simulated[:4] * 0.5, analytic[:4])
+        # Throughput within 15 %.
+        np.testing.assert_allclose(analytic[4], simulated[4], rtol=0.15)
+
+    # The surrogate exists for speed: >= 100x faster than the DES.
+    assert np.median(speedups) > 100

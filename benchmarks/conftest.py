@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+The headline benches regenerate the paper's tables and figures.  Sample
+collections are cached under ``data/`` — the first run simulates them
+(a few minutes), later runs load CSVs.  Each bench both *times* its pipeline
+(pytest-benchmark) and *asserts* the reproduced result has the paper's
+shape, so `pytest benchmarks/ --benchmark-only` doubles as the reproduction
+check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.data import figure_dataset, table2_dataset
+
+
+@pytest.fixture(scope="session")
+def table2_data():
+    """The canonical ~50-sample collection (cached)."""
+    return table2_dataset()
+
+
+@pytest.fixture(scope="session")
+def figure_data():
+    """The canonical figure-plane collection (cached)."""
+    return figure_dataset()
+
+
+def once(benchmark, fn):
+    """Run a heavy pipeline exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,79 @@
+"""PCA-based workload characterization and configuration subsetting.
+
+Section 6 places the paper among "researches applying advanced statistical
+methods to characterize computer workloads" — PCA for Java workloads
+[10, 11] and benchmark subsetting [12-14, 19].  This example applies that
+companion machinery to our own configuration samples: project the 5-D
+indicator vectors onto principal components, read the dominant behavioral
+axes, and pick a small representative subset of configurations to use as a
+regression-test suite.
+
+Usage::
+
+    python examples/pca_characterization.py
+"""
+
+import numpy as np
+
+from repro.analysis import PCA, subset_benchmarks
+from repro.workload import (
+    AnalyticWorkloadModel,
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    latin_hypercube,
+)
+from repro.workload.service import INPUT_NAMES, OUTPUT_NAMES
+
+SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 400, 600),
+        ParameterRange("default_threads", 2, 22),
+        ParameterRange("mfg_threads", 10, 24),
+        ParameterRange("web_threads", 14, 23),
+    ]
+)
+
+
+def main():
+    print("Evaluating 120 configurations on the analytic surrogate ...")
+    dataset = SampleCollector(AnalyticWorkloadModel()).collect(
+        latin_hypercube(SPACE, 120, seed=11)
+    )
+    behaviors = np.log(np.maximum(dataset.y, 1e-6))  # indicators span decades
+
+    pca = PCA().fit(behaviors)
+    print("\nPrincipal components of the indicator space:")
+    for index, ratio in enumerate(pca.explained_variance_ratio_):
+        loadings = pca.components_[index]
+        strongest = np.argsort(-np.abs(loadings))[:2]
+        axes = ", ".join(
+            f"{OUTPUT_NAMES[j]} ({loadings[j]:+.2f})" for j in strongest
+        )
+        print(f"  PC{index + 1}: {100 * ratio:5.1f}% of variance — {axes}")
+    needed = pca.n_components_for_variance(0.95)
+    print(
+        f"\n{needed} component(s) explain 95% of the behavioral variance: "
+        "the five indicators are strongly coupled (queueing drives them "
+        "all), exactly why the paper models them jointly."
+    )
+
+    # ------------------------------------------------------------------
+    # Subsetting: pick 8 configurations that span the behavior space.
+    # ------------------------------------------------------------------
+    chosen = subset_benchmarks(behaviors, k=8)
+    print("\n8 representative configurations (max-spread in PCA space):")
+    header = "  " + "  ".join(f"{n:>15s}" for n in INPUT_NAMES)
+    print(header + f"  {'effective_tps':>14s}")
+    for index in chosen:
+        cells = "  ".join(f"{v:15.0f}" for v in dataset.x[index])
+        print(f"  {cells}  {dataset.y[index, 4]:14.1f}")
+    print(
+        "\nA tuning (or regression) campaign can exercise these 8 points "
+        "instead of all 120 — the subsetting methodology of the cited "
+        "related work, applied to configurations instead of benchmarks."
+    )
+
+
+if __name__ == "__main__":
+    main()

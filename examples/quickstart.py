@@ -1,0 +1,81 @@
+"""Quickstart: simulate the 3-tier workload and train the paper's model.
+
+Runs in under a minute:
+
+1. simulate a handful of configurations of the 3-tier system,
+2. train the neural workload model on the (configuration -> indicators)
+   samples,
+3. predict an unseen configuration and compare with a fresh simulation.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.models import NeuralWorkloadModel
+from repro.workload import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    ThreeTierWorkload,
+    WorkloadConfig,
+    latin_hypercube,
+)
+from repro.workload.service import OUTPUT_NAMES
+
+
+def main():
+    # --- 1. simulate one configuration, look at the indicators -----------
+    workload = ThreeTierWorkload(warmup=1.0, duration=6.0, seed=1)
+    config = WorkloadConfig(
+        injection_rate=450, default_threads=14, mfg_threads=16, web_threads=19
+    )
+    metrics = workload.run(config)
+    print("One simulated configuration:", config)
+    for name in OUTPUT_NAMES:
+        value = metrics.indicators[name]
+        unit = "tps" if name == "effective_tps" else "s"
+        print(f"  {name:22s} {value:8.3f} {unit}")
+    print(f"  cpu utilization        {metrics.cpu_utilization:8.2f}")
+
+    # --- 2. collect a small sample set and train the paper's model -------
+    space = ConfigSpace(
+        [
+            ParameterRange("injection_rate", 350, 520),
+            ParameterRange("default_threads", 6, 20),
+            ParameterRange("mfg_threads", 12, 20),
+            ParameterRange("web_threads", 15, 22),
+        ]
+    )
+    print("\nCollecting 24 samples from the simulator ...")
+    dataset = SampleCollector(workload).collect(
+        latin_hypercube(space, 24, seed=7)
+    )
+    model = NeuralWorkloadModel(
+        hidden=(16, 8), error_threshold=0.01, max_epochs=4000, seed=0
+    )
+    model.fit(dataset.x, dataset.y)
+    print(
+        f"Trained {model!r} in {model.total_epochs_} epochs "
+        f"(stopped by {model.training_results_[0].stopped_by})"
+    )
+
+    # --- 3. predict an unseen configuration and check against reality ----
+    unseen = WorkloadConfig(
+        injection_rate=480, default_threads=12, mfg_threads=16, web_threads=20
+    )
+    predicted = model.predict(unseen.as_vector())[0]
+    actual = ThreeTierWorkload(warmup=1.0, duration=6.0, seed=99).run(unseen)
+    print(f"\nUnseen configuration {unseen}:")
+    print(f"  {'indicator':22s} {'predicted':>10s} {'simulated':>10s}")
+    for name, value in zip(OUTPUT_NAMES, predicted):
+        print(
+            f"  {name:22s} {value:10.3f} "
+            f"{actual.indicators[name]:10.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

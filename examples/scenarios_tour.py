@@ -1,0 +1,71 @@
+"""Tour of the workload scenarios: how the tuning story shifts with the mix.
+
+For each named scenario the tour prints the first-order capacity plan (how
+the pool knees move), simulates the same two configurations, and shows the
+latency breakdown of the slowest class — the quick-look workflow for "we
+changed the traffic mix; what should we re-tune?".
+
+Usage::
+
+    python examples/scenarios_tour.py
+"""
+
+import numpy as np
+
+from repro.workload import (
+    CapacityPlanner,
+    ThreeTierWorkload,
+    WorkloadConfig,
+    available_scenarios,
+    breakdown,
+    scenario,
+)
+
+BASELINE = WorkloadConfig(
+    injection_rate=480, default_threads=12, mfg_threads=16, web_threads=18
+)
+
+
+def main():
+    for name in available_scenarios():
+        classes = scenario(name)
+        planner = CapacityPlanner(classes=classes)
+        print("=" * 72)
+        print(f"scenario: {name}")
+        print(planner.plan(480).to_text())
+
+        workload = ThreeTierWorkload(
+            classes=classes,
+            warmup=1.0,
+            duration=6.0,
+            seed=11,
+            collect_transactions=True,
+        )
+        metrics = workload.run(BASELINE)
+        print(
+            f"  at {BASELINE}: effective "
+            f"{metrics.indicators['effective_tps']:.0f} tps, "
+            f"cpu {100 * metrics.cpu_utilization:.0f}%"
+        )
+
+        # Which class suffers most, and where does its time go?
+        slowest = max(
+            metrics.per_class.values(), key=lambda s: s.mean_response_time
+        )
+        decomposition = breakdown(metrics.transactions)
+        if slowest.name in decomposition:
+            dominant = decomposition[slowest.name].dominant_stage()
+            print(
+                f"  slowest class: {slowest.name} "
+                f"({1000 * slowest.mean_response_time:.1f} ms mean; "
+                f"{100 * dominant.share:.0f}% in {dominant.stage})"
+            )
+        print(
+            f"  bottleneck knob (first-order): "
+            f"{planner.bottleneck(BASELINE)}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

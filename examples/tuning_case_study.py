@@ -1,0 +1,145 @@
+"""The paper's full performance-tuning workflow, end to end.
+
+Reproduces Section 5's methodology as a performance engineer would use it:
+
+1. collect samples across the configuration space (the expensive step),
+2. train the non-linear model,
+3. draw the 3-D response surfaces and classify them (parallel slopes /
+   valley / hill),
+4. read off the tuning lessons,
+5. let the configuration advisor recommend settings under response-time
+   limits, and verify the recommendation on the real system.
+
+Usage::
+
+    python examples/tuning_case_study.py            # ~2-3 minutes
+    FAST=1 python examples/tuning_case_study.py     # ~40 seconds, coarser
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis import (
+    ConfigurationAdvisor,
+    ScoringFunction,
+    classify_surface,
+    render_surface,
+    sensitivity_analysis,
+    sweep,
+)
+from repro.models import NeuralWorkloadModel
+from repro.workload import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    ThreeTierWorkload,
+    latin_hypercube,
+)
+from repro.workload.service import OUTPUT_NAMES
+
+FAST = bool(os.environ.get("FAST"))
+
+SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 440, 580),
+        ParameterRange("default_threads", 2, 22),
+        ParameterRange("mfg_threads", 10, 24),
+        ParameterRange("web_threads", 14, 23),
+    ]
+)
+
+
+def main():
+    # --- 1. collect ------------------------------------------------------
+    n_samples = 30 if FAST else 60
+    duration = 6.0 if FAST else 14.0
+    workload = ThreeTierWorkload(warmup=2.0, duration=duration, seed=42)
+    print(f"Collecting {n_samples} samples ({duration:.0f}s windows) ...")
+    dataset = SampleCollector(workload).collect(
+        latin_hypercube(SPACE, n_samples, seed=42),
+        progress=lambda done, total: print(
+            f"  {done}/{total}", end="\r", flush=True
+        ),
+    )
+    print()
+    dataset.y = np.maximum(dataset.y, 1e-3)
+
+    # --- 2. model ----------------------------------------------------------
+    model = NeuralWorkloadModel(
+        hidden=(16, 8), error_threshold=0.005, max_epochs=8000, seed=0
+    )
+    model.fit(dataset.x, dataset.y)
+    print(f"Model trained: {model!r}")
+
+    # --- 3 + 4. surfaces, shapes and lessons ------------------------------
+    fixed = {"injection_rate": 560.0, "mfg_threads": 16.0}
+    for indicator, log_scale in [
+        ("manufacturing_rt", True),
+        ("dealer_purchase_rt", True),
+        ("effective_tps", False),
+    ]:
+        surface = sweep(
+            model,
+            indicator_index=OUTPUT_NAMES.index(indicator),
+            indicator_name=indicator,
+            row_param="default_threads",
+            row_values=np.arange(0, 21, 2),
+            col_param="web_threads",
+            col_values=np.arange(14, 23),
+            fixed=fixed,
+        )
+        shape = classify_surface(
+            surface, log_scale=log_scale and bool(np.all(surface.z > 0))
+        )
+        print()
+        print(render_surface(surface))
+        print(f"shape: {shape}")
+
+    # Per-parameter sensitivities around the operating point.
+    baseline = {
+        "injection_rate": 520.0,
+        "default_threads": 14.0,
+        "mfg_threads": 16.0,
+        "web_threads": 19.0,
+    }
+    report = sensitivity_analysis(
+        model,
+        baseline,
+        sweeps={
+            "default_threads": np.arange(2, 23, 2),
+            "web_threads": np.arange(14, 24),
+            "mfg_threads": np.arange(10, 25, 2),
+        },
+    )
+    print("\nSensitivity around the operating point (relative range, shape):")
+    print(report.to_text())
+
+    # --- 5. recommend and verify -----------------------------------------
+    scoring = ScoringFunction(
+        response_limits={
+            "manufacturing_rt": 0.18,
+            "dealer_purchase_rt": 0.14,
+            "dealer_manage_rt": 0.13,
+            "dealer_browse_rt": 0.115,
+        }
+    )
+    advisor = ConfigurationAdvisor(model, scoring=scoring)
+    recommendations = advisor.recommend(SPACE, levels=6, top_k=3)
+    print("\nTop model-recommended configurations:")
+    print(advisor.to_text(recommendations))
+
+    best = recommendations[0].config
+    verification = ThreeTierWorkload(
+        warmup=2.0, duration=duration, seed=2024
+    ).run(best)
+    print(f"\nVerification run of the top recommendation {best}:")
+    print(
+        f"  effective throughput: predicted "
+        f"{recommendations[0].predicted['effective_tps']:.0f} tps, "
+        f"simulated {verification.indicators['effective_tps']:.0f} tps"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro: non-linear workload characterization with neural networks.
+
+A full reproduction of Yoo, Lee, Chow & Lee, *Constructing a Non-Linear
+Model with Neural Networks for Workload Characterization* (IISWC 2006),
+including every substrate the paper depends on:
+
+- :mod:`repro.nn` — a from-scratch NumPy neural-network library (MLPs,
+  back-propagation, the paper's loose-fit stopping, RBF and logarithmic
+  networks);
+- :mod:`repro.workload` — a discrete-event simulation of the paper's 3-tier
+  web-service testbed (driver, thread-pooled app server on a contended
+  multicore CPU, database tier) plus an analytic surrogate;
+- :mod:`repro.preprocessing` / :mod:`repro.model_selection` — the Section 3
+  methodology: standardization, the harmonic-mean error metric, k-fold
+  cross validation, grid search;
+- :mod:`repro.models` — the neural workload model and the linear /
+  polynomial / log-linear / RBF / DOE baselines;
+- :mod:`repro.analysis` — response surfaces, the parallel-slopes / valley /
+  hill taxonomy, sensitivity, configuration recommendation, PCA;
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.workload import ThreeTierWorkload, WorkloadConfig
+    from repro.models import NeuralWorkloadModel
+
+    metrics = ThreeTierWorkload().run(WorkloadConfig(560, 14, 16, 18))
+    print(metrics.indicators)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

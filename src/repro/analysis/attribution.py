@@ -1,0 +1,131 @@
+"""Feature attribution for the neural workload model.
+
+Recovers the "analytical power" the paper says neural models trade away
+(Section 5.3): exact local derivatives of every performance indicator with
+respect to every configuration parameter, in *physical units* — seconds of
+dealer-purchase latency per additional web thread, transactions/second per
+unit of injection rate — by chaining the network's input Jacobian through
+the model's input/output scalers.
+
+Because the model is non-linear, these are local statements; evaluate them
+at the operating points you care about (the valley floor, the hill peak)
+rather than averaging them blindly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.neural import NeuralWorkloadModel
+from ..nn.jacobian import input_jacobian
+from ..preprocessing.scalers import IdentityScaler, MinMaxScaler, StandardScaler
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+
+__all__ = ["AttributionReport", "attribute"]
+
+
+@dataclass
+class AttributionReport:
+    """Physical-unit Jacobian at one or more operating points."""
+
+    #: ``jacobian[s, j, i] = d output_j / d input_i`` in physical units.
+    jacobian: np.ndarray
+    points: np.ndarray
+    input_names: List[str]
+    output_names: List[str]
+
+    @property
+    def n_points(self) -> int:
+        """Number of operating points evaluated."""
+        return self.jacobian.shape[0]
+
+    def effect(self, output: str, parameter: str, point: int = 0) -> float:
+        """One partial derivative, by name."""
+        j = self.output_names.index(output)
+        i = self.input_names.index(parameter)
+        return float(self.jacobian[point, j, i])
+
+    def ranked_effects(self, output: str, point: int = 0) -> Dict[str, float]:
+        """All parameters' effects on one output, |largest| first."""
+        j = self.output_names.index(output)
+        row = self.jacobian[point, j, :]
+        order = np.argsort(-np.abs(row))
+        return {self.input_names[i]: float(row[i]) for i in order}
+
+    def to_text(self, point: int = 0) -> str:
+        """Readable table at one operating point."""
+        values = dict(zip(self.input_names, self.points[point]))
+        lines = [
+            "Local effects at "
+            + ", ".join(f"{k}={v:g}" for k, v in values.items())
+        ]
+        width = max(len(n) for n in self.input_names) + 2
+        header = " " * width + "".join(
+            f"{n[:16]:>18s}" for n in self.output_names
+        )
+        lines.append(header)
+        for i, name in enumerate(self.input_names):
+            cells = "".join(
+                f"{self.jacobian[point, j, i]:>18.4g}"
+                for j in range(len(self.output_names))
+            )
+            lines.append(name.ljust(width) + cells)
+        return "\n".join(lines)
+
+
+def attribute(
+    model: NeuralWorkloadModel,
+    points: np.ndarray,
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+) -> AttributionReport:
+    """Exact physical-unit Jacobians of a fitted neural workload model.
+
+    Chain rule through the Section 3.1 pre-processing: with standardization
+    ``x_s = (x - mu_x) / sigma_x`` and ``y = y_s * sigma_y + mu_y``,
+
+        dy/dx = sigma_y * (dy_s/dx_s) / sigma_x.
+
+    Requires the model's joint mode (one network); separate-mode models can
+    be attributed per network the same way.
+    """
+    if not model.is_fitted:
+        raise RuntimeError("attribute() requires a fitted model")
+    if not model.joint:
+        raise ValueError(
+            "attribute() supports joint models; fit with joint=True"
+        )
+    points = np.asarray(points, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(1, -1)
+    scaled = model.x_scaler_.transform(points)
+    jacobian = input_jacobian(model.networks_[0], scaled)
+
+    x_scale = _scale_vector(model.x_scaler_, points.shape[1])
+    y_scale = _scale_vector(model.y_scaler_, jacobian.shape[1])
+    # J_phys[s, j, i] = y_scale[j] * J[s, j, i] / x_scale[i]
+    physical = jacobian * y_scale[None, :, None] / x_scale[None, None, :]
+    return AttributionReport(
+        jacobian=physical,
+        points=points.copy(),
+        input_names=list(input_names or INPUT_NAMES[: points.shape[1]]),
+        output_names=list(output_names or OUTPUT_NAMES[: jacobian.shape[1]]),
+    )
+
+
+def _scale_vector(scaler, size: int) -> np.ndarray:
+    """Per-feature physical units per scaled unit: d(physical)/d(scaled)."""
+    if isinstance(scaler, StandardScaler):
+        return np.asarray(scaler.scale_, dtype=float)
+    if isinstance(scaler, MinMaxScaler):
+        return np.asarray(
+            scaler.data_range_ / (scaler.high - scaler.low), dtype=float
+        )
+    if isinstance(scaler, IdentityScaler):
+        return np.ones(size)
+    raise TypeError(
+        f"attribution does not know the scale of {type(scaler).__name__}"
+    )

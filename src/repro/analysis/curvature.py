@@ -1,0 +1,159 @@
+"""Curvature analysis: the surface taxonomy from second derivatives.
+
+:mod:`repro.analysis.topology` classifies a *grid*; this module classifies
+the model's local geometry analytically-ish: the 2x2 Hessian of one
+indicator with respect to two swept parameters (central differences of the
+network's exact input Jacobian) and its eigen-decomposition give, at any
+point,
+
+* **bowl** (both eigenvalues > 0) — a valley cross-section,
+* **dome** (both < 0) — a hill,
+* **saddle** (mixed signs),
+* **flat** (both ~ 0),
+
+plus the principal direction — for a valley, the direction its trough runs,
+which is the "adjust two parameters concurrently" vector the paper's
+Section 5.2 tuning advice asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.neural import NeuralWorkloadModel
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+from .attribution import attribute
+
+__all__ = ["LocalCurvature", "hessian", "local_curvature"]
+
+#: Eigenvalue magnitudes below this fraction of the largest are "zero".
+_FLAT_FRACTION = 0.05
+
+
+@dataclass
+class LocalCurvature:
+    """Second-order geometry of one indicator at one point."""
+
+    indicator: str
+    point: np.ndarray
+    params: Tuple[str, str]
+    hessian: np.ndarray  # (2, 2)
+    gradient: np.ndarray  # (2,)
+    eigenvalues: np.ndarray  # ascending
+    eigenvectors: np.ndarray  # columns, matching eigenvalues
+
+    @property
+    def kind(self) -> str:
+        """bowl / dome / saddle / flat."""
+        scale = float(np.abs(self.eigenvalues).max())
+        if scale == 0.0:
+            return "flat"
+        small = _FLAT_FRACTION * scale
+        signs = [
+            0 if abs(v) < small else (1 if v > 0 else -1)
+            for v in self.eigenvalues
+        ]
+        if all(s == 0 for s in signs):
+            return "flat"
+        if any(s > 0 for s in signs) and any(s < 0 for s in signs):
+            return "saddle"
+        if all(s >= 0 for s in signs):
+            return "bowl"
+        return "dome"
+
+    @property
+    def trough_direction(self) -> np.ndarray:
+        """Unit vector along the *least curved* axis.
+
+        For a bowl this is the valley's running direction — the paper's
+        "stay in the valley" move; for a dome, the ridge direction.
+        """
+        index = int(np.argmin(np.abs(self.eigenvalues)))
+        direction = self.eigenvectors[:, index]
+        return direction / np.linalg.norm(direction)
+
+    def to_text(self) -> str:
+        """One readable block."""
+        a, b = self.params
+        direction = self.trough_direction
+        return (
+            f"{self.indicator} at ({a}={self.point_value(a):g}, "
+            f"{b}={self.point_value(b):g}): {self.kind}; "
+            f"eigenvalues {self.eigenvalues[0]:.3g}, "
+            f"{self.eigenvalues[1]:.3g}; "
+            f"least-curved direction ({direction[0]:+.2f} {a}, "
+            f"{direction[1]:+.2f} {b})"
+        )
+
+    def point_value(self, name: str) -> float:
+        """The full 4-D point's value for one input name."""
+        return float(self.point[INPUT_NAMES.index(name)])
+
+
+def hessian(
+    model: NeuralWorkloadModel,
+    point: Sequence[float],
+    indicator: str,
+    params: Tuple[str, str],
+    step: Optional[Dict[str, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(Hessian, gradient) of one indicator w.r.t. two parameters.
+
+    Central differences of the model's *exact* first derivatives, which is
+    far better conditioned than double finite differences of the value.
+    ``step`` gives the probe offset per parameter (default: 1 thread / 10
+    injection units).
+    """
+    point = np.asarray(point, dtype=float)
+    if point.shape != (len(INPUT_NAMES),):
+        raise ValueError(
+            f"point must have {len(INPUT_NAMES)} entries, got {point.shape}"
+        )
+    if indicator not in OUTPUT_NAMES:
+        raise ValueError(f"unknown indicator {indicator!r}")
+    indices = [INPUT_NAMES.index(p) for p in params]
+    steps = []
+    for p in params:
+        default = 10.0 if p == "injection_rate" else 1.0
+        steps.append(float((step or {}).get(p, default)))
+
+    def gradient_at(probe: np.ndarray) -> np.ndarray:
+        report = attribute(model, probe.reshape(1, -1))
+        j = OUTPUT_NAMES.index(indicator)
+        return report.jacobian[0, j, indices]
+
+    grad = gradient_at(point)
+    H = np.empty((2, 2))
+    for k, (index, h) in enumerate(zip(indices, steps)):
+        plus = point.copy()
+        plus[index] += h
+        minus = point.copy()
+        minus[index] -= h
+        H[:, k] = (gradient_at(plus) - gradient_at(minus)) / (2.0 * h)
+    # Symmetrize (mixed partials agree analytically; differencing adds noise).
+    H = 0.5 * (H + H.T)
+    return H, grad
+
+
+def local_curvature(
+    model: NeuralWorkloadModel,
+    point: Sequence[float],
+    indicator: str,
+    params: Tuple[str, str] = ("default_threads", "web_threads"),
+    step: Optional[Dict[str, float]] = None,
+) -> LocalCurvature:
+    """Classify the model's local second-order geometry at ``point``."""
+    H, grad = hessian(model, point, indicator, params, step=step)
+    eigenvalues, eigenvectors = np.linalg.eigh(H)
+    return LocalCurvature(
+        indicator=indicator,
+        point=np.asarray(point, dtype=float).copy(),
+        params=tuple(params),
+        hessian=H,
+        gradient=grad,
+        eigenvalues=eigenvalues,
+        eigenvectors=eigenvectors,
+    )

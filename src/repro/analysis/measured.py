@@ -1,0 +1,143 @@
+"""Measured surfaces and model-vs-measured comparison.
+
+The paper's 3-D figures overlay dots — actual measurements — on the model's
+predicted surface ("those dots indicate the location of the actual data.
+They spread over (or under) the surface with the same accuracy described in
+Table 2").  This module produces both halves of that comparison:
+
+* :func:`measure_surface` — run the *simulator* over the same 2-D grid a
+  model surface sweeps, giving the ground-truth surface, and
+* :func:`surface_agreement` — the per-cell relative differences between a
+  predicted and a measured surface, summarized with the paper's
+  harmonic-mean metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..model_selection.metrics import harmonic_mean
+from ..workload.service import (
+    INPUT_NAMES,
+    OUTPUT_NAMES,
+    ThreeTierWorkload,
+    WorkloadConfig,
+)
+from .surface import ResponseSurface
+
+__all__ = ["SurfaceAgreement", "measure_surface", "surface_agreement"]
+
+
+def measure_surface(
+    workload: ThreeTierWorkload,
+    indicator: str,
+    row_param: str,
+    row_values: Sequence[float],
+    col_param: str,
+    col_values: Sequence[float],
+    fixed: Dict[str, float],
+    floor: float = 1e-3,
+) -> ResponseSurface:
+    """Simulate every grid cell and return the measured surface.
+
+    Grid cost is ``len(row_values) * len(col_values)`` simulator runs; use
+    coarse grids (the paper's dots are sparse too).
+    """
+    if indicator not in OUTPUT_NAMES:
+        raise ValueError(f"unknown indicator {indicator!r}")
+    for name in (row_param, col_param):
+        if name not in INPUT_NAMES:
+            raise ValueError(f"unknown swept parameter {name!r}")
+    missing = set(INPUT_NAMES) - {row_param, col_param} - set(fixed)
+    if missing:
+        raise ValueError(f"fixed values missing for {sorted(missing)}")
+    row_values = np.asarray(row_values, dtype=float)
+    col_values = np.asarray(col_values, dtype=float)
+    index = OUTPUT_NAMES.index(indicator)
+    z = np.empty((row_values.size, col_values.size))
+    for i, row_value in enumerate(row_values):
+        for j, col_value in enumerate(col_values):
+            values = dict(fixed)
+            values[row_param] = row_value
+            values[col_param] = col_value
+            config = WorkloadConfig.from_vector(
+                np.array([values[name] for name in INPUT_NAMES])
+            )
+            z[i, j] = max(workload.run(config).as_vector()[index], floor)
+    return ResponseSurface(
+        row_param=row_param,
+        col_param=col_param,
+        row_values=row_values,
+        col_values=col_values,
+        z=z,
+        indicator=indicator,
+        fixed=dict(fixed),
+    )
+
+
+@dataclass
+class SurfaceAgreement:
+    """Cell-by-cell comparison of a predicted and a measured surface."""
+
+    predicted: ResponseSurface
+    measured: ResponseSurface
+    #: ``|predicted - measured| / |measured|`` per cell.
+    relative_error: np.ndarray
+
+    @property
+    def harmonic_mean_error(self) -> float:
+        """The paper's Table 2 metric over the whole grid."""
+        return harmonic_mean(self.relative_error.ravel())
+
+    @property
+    def median_error(self) -> float:
+        """Median per-cell relative error."""
+        return float(np.median(self.relative_error))
+
+    @property
+    def worst_cell(self):
+        """((row_value, col_value), error) of the worst-predicted cell."""
+        i, j = np.unravel_index(
+            np.argmax(self.relative_error), self.relative_error.shape
+        )
+        return (
+            (
+                float(self.predicted.row_values[i]),
+                float(self.predicted.col_values[j]),
+            ),
+            float(self.relative_error[i, j]),
+        )
+
+    def to_text(self) -> str:
+        """Summary line plus the worst cell."""
+        (row, col), worst = self.worst_cell
+        return (
+            f"{self.predicted.indicator}: harmonic-mean error "
+            f"{100 * self.harmonic_mean_error:.1f}%, median "
+            f"{100 * self.median_error:.1f}%, worst "
+            f"{100 * worst:.0f}% at ({self.predicted.row_param}={row:g}, "
+            f"{self.predicted.col_param}={col:g})"
+        )
+
+
+def surface_agreement(
+    predicted: ResponseSurface, measured: ResponseSurface
+) -> SurfaceAgreement:
+    """Compare two surfaces over an identical grid."""
+    if predicted.z.shape != measured.z.shape:
+        raise ValueError(
+            f"grid shapes differ: {predicted.z.shape} vs {measured.z.shape}"
+        )
+    if not np.allclose(predicted.row_values, measured.row_values) or not (
+        np.allclose(predicted.col_values, measured.col_values)
+    ):
+        raise ValueError("surfaces sweep different grids")
+    if np.any(measured.z == 0):
+        raise ValueError("measured surface contains zeros; floor it first")
+    relative = np.abs(predicted.z - measured.z) / np.abs(measured.z)
+    return SurfaceAgreement(
+        predicted=predicted, measured=measured, relative_error=relative
+    )

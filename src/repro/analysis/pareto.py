@@ -1,0 +1,131 @@
+"""Pareto analysis of the throughput / response-time trade-off.
+
+A single scoring function hides the trade the engineer is actually making;
+the Pareto frontier exposes it: the set of configurations not dominated on
+(maximize throughput, minimize response times) simultaneously.  The paper's
+valley/hill discussion is exactly a story about this frontier — the best
+throughput and the best purchase latency do not coincide, and the frontier
+shows what each unit of latency buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES, WorkloadConfig
+
+__all__ = ["ParetoPoint", "ParetoFrontier", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated configuration."""
+
+    config: WorkloadConfig
+    #: Objectives in canonical output order (response times, throughput).
+    indicators: np.ndarray
+
+    @property
+    def throughput(self) -> float:
+        """The maximize-me objective."""
+        return float(self.indicators[-1])
+
+    @property
+    def worst_response_time(self) -> float:
+        """The slowest of the four response-time indicators."""
+        return float(self.indicators[:4].max())
+
+
+@dataclass
+class ParetoFrontier:
+    """The non-dominated set, sorted by throughput descending."""
+
+    points: List[ParetoPoint]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def best_throughput(self) -> ParetoPoint:
+        """The throughput-maximal end of the frontier."""
+        return self.points[0]
+
+    def best_latency(self) -> ParetoPoint:
+        """The latency-minimal end of the frontier."""
+        return min(self.points, key=lambda p: p.worst_response_time)
+
+    def knee(self) -> ParetoPoint:
+        """The balanced point: max throughput-per-latency ratio after
+        normalizing both axes to the frontier's span."""
+        tps = np.array([p.throughput for p in self.points])
+        lat = np.array([p.worst_response_time for p in self.points])
+        tps_span = max(tps.max() - tps.min(), 1e-12)
+        lat_span = max(lat.max() - lat.min(), 1e-12)
+        utility = (tps - tps.min()) / tps_span - (lat - lat.min()) / lat_span
+        return self.points[int(np.argmax(utility))]
+
+    def to_text(self) -> str:
+        """Readable frontier table."""
+        lines = [
+            "Pareto frontier (throughput maximized, response times minimized):",
+            "  "
+            + "  ".join(f"{n:>15s}" for n in INPUT_NAMES)
+            + f"  {'tps':>8s}  {'worst rt':>9s}",
+        ]
+        for point in self.points:
+            cells = "  ".join(f"{v:15g}" for v in point.config.as_vector())
+            lines.append(
+                f"  {cells}  {point.throughput:8.1f}  "
+                f"{1000 * point.worst_response_time:8.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+def pareto_frontier(
+    model,
+    configs: Sequence[WorkloadConfig],
+    output_names: Optional[Sequence[str]] = None,
+) -> ParetoFrontier:
+    """Non-dominated configurations under the model's predictions.
+
+    Domination: configuration A dominates B when A's throughput is >= B's,
+    every response time is <= B's, and at least one comparison is strict.
+    O(n^2) pairwise filtering — fine for the grid sizes the advisor scans.
+    """
+    if not configs:
+        raise ValueError("no configurations to analyze")
+    names = list(output_names or OUTPUT_NAMES)
+    matrix = np.vstack([c.as_vector() for c in configs])
+    predictions = np.asarray(model.predict(matrix), dtype=float)
+    if predictions.shape != (len(configs), len(names)):
+        raise ValueError(
+            f"model predicted {predictions.shape}, expected "
+            f"({len(configs)}, {len(names)})"
+        )
+    # Convert to a pure minimization problem: (response times, -throughput).
+    costs = predictions.copy()
+    costs[:, -1] = -costs[:, -1]
+
+    non_dominated = []
+    for i in range(costs.shape[0]):
+        dominated = False
+        for j in range(costs.shape[0]):
+            if i == j:
+                continue
+            if np.all(costs[j] <= costs[i]) and np.any(costs[j] < costs[i]):
+                dominated = True
+                break
+        if not dominated:
+            non_dominated.append(i)
+
+    points = [
+        ParetoPoint(config=configs[i], indicators=predictions[i].copy())
+        for i in non_dominated
+    ]
+    points.sort(key=lambda p: -p.throughput)
+    return ParetoFrontier(points=points)

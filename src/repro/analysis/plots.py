@@ -1,0 +1,159 @@
+"""Text rendering of figures (no plotting libraries offline).
+
+The paper's figures are regenerated as data plus terminal-friendly views:
+
+* :func:`render_surface` — a shaded character grid of a response surface
+  (the 3-D diagrams of Figures 4/7/8 seen from above),
+* :func:`render_series` — the actual-vs-predicted scatter columns of
+  Figures 5/6 as aligned text,
+* :func:`surface_to_csv` / :func:`series_to_csv` — machine-readable dumps
+  for external plotting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .surface import ResponseSurface
+
+__all__ = [
+    "render_surface",
+    "render_series",
+    "surface_to_csv",
+    "series_to_csv",
+]
+
+#: Shading ramp from low to high.
+_RAMP = " .:-=+*#%@"
+
+
+def render_surface(
+    surface: ResponseSurface,
+    width: Optional[int] = None,
+    invert: bool = False,
+) -> str:
+    """A top-down shaded view of the surface, dark = low, bright = high.
+
+    ``invert=True`` flips the ramp, which reads better for response-time
+    valleys (the valley floor shows bright).
+    """
+    z = surface.z
+    low, high = float(z.min()), float(z.max())
+    span = high - low
+    ramp = _RAMP[::-1] if invert else _RAMP
+    lines = [
+        f"{surface.indicator} over ({surface.row_param} x {surface.col_param}) "
+        f"fixed={surface.fixed}",
+        f"z range: {low:g} .. {high:g}",
+    ]
+    header = " " * 8 + "".join(
+        f"{v:g}"[:6].rjust(7) for v in surface.col_values
+    )
+    lines.append(header)
+    for i, row_value in enumerate(surface.row_values):
+        cells = []
+        for j in range(surface.col_values.size):
+            if span <= 0:
+                level = 0
+            else:
+                level = int((z[i, j] - low) / span * (len(ramp) - 1))
+            cells.append(ramp[level] * 3)
+        lines.append(f"{row_value:7g} " + "  ".join(f" {c}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_series(
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Figures 5/6 style: per-sample actual ('o') vs predicted ('x') lanes.
+
+    Each sample index gets one text row; the two markers are placed along a
+    shared horizontal value axis (coinciding markers render as '*').
+    """
+    actual = np.asarray(actual, dtype=float).ravel()
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"actual has {actual.size} points, predicted {predicted.size}"
+        )
+    if actual.size == 0:
+        raise ValueError("nothing to render")
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    low = float(min(actual.min(), predicted.min()))
+    high = float(max(actual.max(), predicted.max()))
+    span = high - low or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"value axis: {low:g} .. {high:g}   o=actual x=predicted")
+    for index, (a, p) in enumerate(zip(actual, predicted)):
+        lane = [" "] * (width + 1)
+        a_pos = int((a - low) / span * width)
+        p_pos = int((p - low) / span * width)
+        lane[a_pos] = "o"
+        lane[p_pos] = "*" if p_pos == a_pos else "x"
+        lines.append(f"{index + 1:3d} |" + "".join(lane) + "|")
+    return "\n".join(lines)
+
+
+def surface_to_csv(
+    surface: ResponseSurface, path: Union[str, Path]
+) -> Path:
+    """Write the surface as long-format CSV (row, col, z)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        handle.write(
+            f"{surface.row_param},{surface.col_param},{surface.indicator}\n"
+        )
+        for i, row_value in enumerate(surface.row_values):
+            for j, col_value in enumerate(surface.col_values):
+                handle.write(
+                    f"{row_value!r},{col_value!r},{surface.z[i, j]!r}\n"
+                )
+    return path
+
+
+def series_to_csv(
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    path: Union[str, Path],
+    labels: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write actual/predicted columns (multi-output supported) as CSV."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if actual.ndim == 1:
+        actual = actual.reshape(-1, 1)
+    if predicted.ndim == 1:
+        predicted = predicted.reshape(-1, 1)
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}"
+        )
+    names = list(labels or [f"output_{j}" for j in range(actual.shape[1])])
+    if len(names) != actual.shape[1]:
+        raise ValueError(
+            f"{len(names)} labels for {actual.shape[1]} outputs"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        header = ["sample"] + [
+            f"{n}_{kind}" for n in names for kind in ("actual", "predicted")
+        ]
+        handle.write(",".join(header) + "\n")
+        for index in range(actual.shape[0]):
+            cells = [str(index + 1)]
+            for j in range(actual.shape[1]):
+                cells.append(repr(float(actual[index, j])))
+                cells.append(repr(float(predicted[index, j])))
+            handle.write(",".join(cells) + "\n")
+    return path

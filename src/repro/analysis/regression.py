@@ -1,0 +1,168 @@
+"""Performance-regression detection between two measured datasets.
+
+The operational use of workload characterization: the same configurations
+measured before and after a change (new build, kernel upgrade, schema
+migration) — which indicators actually regressed, beyond run-to-run noise?
+
+The detector pairs samples by configuration, computes per-pair relative
+deltas, and flags indicators whose median delta exceeds both a practical
+threshold and the noise floor implied by the pair scatter (a sign-test-
+style criterion that needs no distributional assumptions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..workload.dataset import Dataset
+
+__all__ = ["IndicatorDelta", "RegressionReport", "detect_regressions"]
+
+#: Output columns where *larger is better* (all others: smaller is better).
+_HIGHER_IS_BETTER = {"effective_tps"}
+
+
+@dataclass
+class IndicatorDelta:
+    """Before/after comparison of one indicator."""
+
+    name: str
+    #: Per-pair relative change, positive = value increased.
+    deltas: np.ndarray
+    median_delta: float
+    #: Fraction of pairs that moved in the worse direction.
+    worse_fraction: float
+    #: Two-sided sign-test p-value for "no systematic direction".
+    sign_p_value: float
+    regressed: bool
+    improved: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = (
+            "REGRESSED"
+            if self.regressed
+            else ("improved" if self.improved else "unchanged")
+        )
+        return (
+            f"{self.name}: median {100 * self.median_delta:+.1f}% "
+            f"({verdict}, p={self.sign_p_value:.3f})"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """All indicators' verdicts."""
+
+    per_indicator: List[IndicatorDelta]
+    n_pairs: int
+
+    def __getitem__(self, name: str) -> IndicatorDelta:
+        for entry in self.per_indicator:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def regressions(self) -> List[str]:
+        """Names of indicators flagged as regressed."""
+        return [e.name for e in self.per_indicator if e.regressed]
+
+    def improvements(self) -> List[str]:
+        """Names of indicators flagged as improved."""
+        return [e.name for e in self.per_indicator if e.improved]
+
+    def to_text(self) -> str:
+        """Readable verdict table."""
+        lines = [f"Regression check over {self.n_pairs} paired configurations:"]
+        lines.extend(f"  {entry}" for entry in self.per_indicator)
+        return "\n".join(lines)
+
+
+def _sign_test_p(worse: int, n: int) -> float:
+    """Two-sided binomial sign test against p = 0.5 (exact, small n)."""
+    if n == 0:
+        return 1.0
+    extreme = max(worse, n - worse)
+    tail = sum(math.comb(n, k) for k in range(extreme, n + 1)) / 2.0**n
+    return min(1.0, 2.0 * tail)
+
+
+def detect_regressions(
+    baseline: Dataset,
+    candidate: Dataset,
+    threshold: float = 0.05,
+    alpha: float = 0.05,
+) -> RegressionReport:
+    """Compare paired measurements of the same configurations.
+
+    Parameters
+    ----------
+    baseline, candidate:
+        Datasets whose ``x`` rows match 1:1 (same configurations, any
+        order); measured on the old and new system respectively.
+    threshold:
+        Minimum |median relative delta| to call a change practically
+        significant (5 % by default).
+    alpha:
+        Sign-test significance level for "the direction is systematic".
+    """
+    if baseline.output_names != candidate.output_names:
+        raise ValueError("output schemas differ between datasets")
+    if len(baseline) != len(candidate):
+        raise ValueError(
+            f"baseline has {len(baseline)} samples, candidate "
+            f"{len(candidate)}"
+        )
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+
+    # Pair rows by configuration.
+    index_of = {tuple(row): i for i, row in enumerate(candidate.x)}
+    if len(index_of) != len(candidate):
+        raise ValueError("candidate contains duplicate configurations")
+    pairs = []
+    for i, row in enumerate(baseline.x):
+        j = index_of.get(tuple(row))
+        if j is None:
+            raise ValueError(
+                f"configuration {row.tolist()} missing from the candidate"
+            )
+        pairs.append((i, j))
+
+    entries = []
+    for column, name in enumerate(baseline.output_names):
+        before = np.array([baseline.y[i, column] for i, _ in pairs])
+        after = np.array([candidate.y[j, column] for _, j in pairs])
+        if np.any(before == 0):
+            raise ValueError(
+                f"indicator {name!r} has zero baseline values; relative "
+                "deltas are undefined"
+            )
+        deltas = (after - before) / np.abs(before)
+        higher_better = name in _HIGHER_IS_BETTER
+        worse = deltas < 0 if higher_better else deltas > 0
+        n_moved = int(np.sum(deltas != 0))
+        worse_count = int(np.sum(worse & (deltas != 0)))
+        p_value = _sign_test_p(worse_count, n_moved)
+        median = float(np.median(deltas))
+        median_is_worse = median < 0 if higher_better else median > 0
+        significant = abs(median) >= threshold and p_value <= alpha
+        entries.append(
+            IndicatorDelta(
+                name=name,
+                deltas=deltas,
+                median_delta=median,
+                worse_fraction=(
+                    worse_count / n_moved if n_moved else 0.0
+                ),
+                sign_p_value=p_value,
+                regressed=significant and median_is_worse,
+                improved=significant and not median_is_worse,
+            )
+        )
+    return RegressionReport(per_indicator=entries, n_pairs=len(pairs))

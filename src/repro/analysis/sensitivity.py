@@ -1,0 +1,141 @@
+"""Per-parameter sensitivity analysis.
+
+Quantifies, from a fitted model, how much each configuration parameter moves
+each indicator — the one-dimensional companion of the surface taxonomy.  A
+parameter whose sweeps are flat for an indicator is exactly the paper's
+"of no use ... to tune" case (Section 5.1); the configuration advisor uses
+this to tell performance engineers which knobs to leave alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+from .topology import classify_profile
+
+__all__ = ["ParameterSensitivity", "SensitivityReport", "sensitivity_analysis"]
+
+
+@dataclass
+class ParameterSensitivity:
+    """Effect of sweeping one parameter on one indicator."""
+
+    parameter: str
+    indicator: str
+    sweep_values: np.ndarray
+    responses: np.ndarray
+    #: (max - min) / |mean| over the sweep; 0 means perfectly flat.
+    relative_range: float
+    #: 1-D shape label from :func:`~repro.analysis.topology.classify_profile`.
+    shape: str
+
+
+@dataclass
+class SensitivityReport:
+    """All parameter-indicator sensitivities for one fitted model."""
+
+    entries: List[ParameterSensitivity]
+    baseline: Dict[str, float]
+
+    def for_indicator(self, indicator: str) -> List[ParameterSensitivity]:
+        """Entries for one indicator, most influential parameter first."""
+        rows = [e for e in self.entries if e.indicator == indicator]
+        if not rows:
+            raise KeyError(f"no entries for indicator {indicator!r}")
+        return sorted(rows, key=lambda e: e.relative_range, reverse=True)
+
+    def insensitive_parameters(
+        self, indicator: str, threshold: float = 0.05
+    ) -> List[str]:
+        """Parameters whose sweeps move ``indicator`` by < ``threshold``."""
+        return [
+            e.parameter
+            for e in self.for_indicator(indicator)
+            if e.relative_range < threshold
+        ]
+
+    def to_text(self) -> str:
+        """A compact sensitivity matrix (relative ranges in percent)."""
+        indicators = sorted({e.indicator for e in self.entries})
+        parameters = sorted({e.parameter for e in self.entries})
+        width = max(len(p) for p in parameters) + 2
+        col = 18
+        lines = [
+            " " * width + "".join(ind[:col - 1].rjust(col) for ind in indicators)
+        ]
+        lookup = {(e.parameter, e.indicator): e for e in self.entries}
+        for param in parameters:
+            cells = []
+            for ind in indicators:
+                entry = lookup[(param, ind)]
+                cells.append(
+                    f"{100 * entry.relative_range:.0f}% {entry.shape}".rjust(col)
+                )
+            lines.append(param.ljust(width) + "".join(cells))
+        return "\n".join(lines)
+
+
+def sensitivity_analysis(
+    model,
+    baseline: Dict[str, float],
+    sweeps: Dict[str, Sequence[float]],
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+) -> SensitivityReport:
+    """Sweep each parameter around a baseline and measure indicator movement.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator over the canonical input order.
+    baseline:
+        The operating point; one value per input name.
+    sweeps:
+        Per-parameter value lists to sweep (other parameters stay at the
+        baseline).
+    """
+    in_names = list(input_names or INPUT_NAMES)
+    out_names = list(output_names or OUTPUT_NAMES)
+    missing = set(in_names) - set(baseline)
+    if missing:
+        raise ValueError(f"baseline missing {sorted(missing)}")
+    unknown = set(sweeps) - set(in_names)
+    if unknown:
+        raise ValueError(f"sweeps for unknown parameters {sorted(unknown)}")
+
+    entries: List[ParameterSensitivity] = []
+    for parameter, values in sweeps.items():
+        values = np.asarray(values, dtype=float)
+        if values.size < 3:
+            raise ValueError(
+                f"sweep for {parameter!r} needs >= 3 points, got {values.size}"
+            )
+        rows = []
+        for value in values:
+            point = [
+                value if name == parameter else baseline[name]
+                for name in in_names
+            ]
+            rows.append(point)
+        predictions = np.asarray(model.predict(np.asarray(rows)), dtype=float)
+        for j, indicator in enumerate(out_names):
+            response = predictions[:, j]
+            mean = float(np.abs(response).mean())
+            relative = float(
+                (response.max() - response.min()) / mean if mean > 0 else 0.0
+            )
+            entries.append(
+                ParameterSensitivity(
+                    parameter=parameter,
+                    indicator=indicator,
+                    sweep_values=values.copy(),
+                    responses=response.copy(),
+                    relative_range=relative,
+                    shape=classify_profile(response),
+                )
+            )
+    return SensitivityReport(entries=entries, baseline=dict(baseline))

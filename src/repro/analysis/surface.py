@@ -1,0 +1,198 @@
+"""Response surfaces: the paper's 3-D diagrams as numeric grids.
+
+Section 5 analyzes the workload by drawing "3D diagrams of performance
+indicators predicted by our model": two configuration parameters are swept
+while the others stay fixed, and a predicted indicator is evaluated over the
+grid.  A :class:`ResponseSurface` is that object — the grid, its axes, and
+the fixed parameters — with helpers to locate extrema and slice rows/columns.
+The figure captions' 4-tuples like ``(560, x, 16, y)`` map directly onto
+:func:`sweep`'s arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workload.service import INPUT_NAMES
+
+__all__ = ["ResponseSurface", "sweep"]
+
+
+@dataclass
+class ResponseSurface:
+    """A predicted indicator over a 2-D sweep of the configuration space."""
+
+    #: Name of the swept parameter along rows (first axis).
+    row_param: str
+    #: Name of the swept parameter along columns (second axis).
+    col_param: str
+    row_values: np.ndarray
+    col_values: np.ndarray
+    #: ``z[i, j]`` = indicator at (row_values[i], col_values[j]).
+    z: np.ndarray
+    #: Indicator name (one of the five outputs).
+    indicator: str
+    #: The parameters held fixed, by name.
+    fixed: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.row_values = np.asarray(self.row_values, dtype=float)
+        self.col_values = np.asarray(self.col_values, dtype=float)
+        self.z = np.asarray(self.z, dtype=float)
+        if self.z.shape != (self.row_values.size, self.col_values.size):
+            raise ValueError(
+                f"z shape {self.z.shape} does not match axes "
+                f"({self.row_values.size}, {self.col_values.size})"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) of the grid."""
+        return self.z.shape
+
+    def caption_tuple(self) -> str:
+        """The paper's 4-tuple caption, e.g. ``(560, x, 16, y)``.
+
+        Swept parameters appear as ``x``/``y`` in canonical input order.
+        """
+        parts = []
+        sweep_symbols = {self.row_param: "x", self.col_param: "y"}
+        # Assign x to whichever swept parameter comes first canonically.
+        ordered_swept = [n for n in INPUT_NAMES if n in sweep_symbols]
+        symbols = dict(zip(ordered_swept, ("x", "y")))
+        for name in INPUT_NAMES:
+            if name in symbols:
+                parts.append(symbols[name])
+            elif name in self.fixed:
+                value = self.fixed[name]
+                parts.append(f"{value:g}")
+            else:
+                parts.append("?")
+        return "(" + ", ".join(parts) + ")"
+
+    def minimum(self) -> Tuple[float, float, float]:
+        """(row_value, col_value, z) at the grid minimum."""
+        i, j = np.unravel_index(np.argmin(self.z), self.z.shape)
+        return (
+            float(self.row_values[i]),
+            float(self.col_values[j]),
+            float(self.z[i, j]),
+        )
+
+    def maximum(self) -> Tuple[float, float, float]:
+        """(row_value, col_value, z) at the grid maximum."""
+        i, j = np.unravel_index(np.argmax(self.z), self.z.shape)
+        return (
+            float(self.row_values[i]),
+            float(self.col_values[j]),
+            float(self.z[i, j]),
+        )
+
+    def row_slice(self, row_value: float) -> np.ndarray:
+        """The 1-D profile along columns at the nearest row value."""
+        index = int(np.argmin(np.abs(self.row_values - row_value)))
+        return self.z[index, :].copy()
+
+    def col_slice(self, col_value: float) -> np.ndarray:
+        """The 1-D profile along rows at the nearest column value."""
+        index = int(np.argmin(np.abs(self.col_values - col_value)))
+        return self.z[:, index].copy()
+
+    def valley_path(self) -> list:
+        """Per-row argmin: the path the paper's valleys trace.
+
+        Returns ``[(row_value, col_value_of_min, z_min), ...]`` — e.g. the
+        Figure 7 valley "from (0, 18) to (20, 20)" is this path's endpoints.
+        """
+        path = []
+        for i, row_value in enumerate(self.row_values):
+            j = int(np.argmin(self.z[i, :]))
+            path.append(
+                (float(row_value), float(self.col_values[j]), float(self.z[i, j]))
+            )
+        return path
+
+    def ridge_path(self) -> list:
+        """Per-row argmax — the crest of a hill surface."""
+        path = []
+        for i, row_value in enumerate(self.row_values):
+            j = int(np.argmax(self.z[i, :]))
+            path.append(
+                (float(row_value), float(self.col_values[j]), float(self.z[i, j]))
+            )
+        return path
+
+    def relative_span(self) -> float:
+        """``max / max(min, tiny)`` — how much the indicator varies."""
+        low = max(float(self.z.min()), 1e-12)
+        return float(self.z.max()) / low
+
+
+def sweep(
+    model,
+    indicator_index: int,
+    indicator_name: str,
+    row_param: str,
+    row_values: Sequence[float],
+    col_param: str,
+    col_values: Sequence[float],
+    fixed: Dict[str, float],
+    input_names: Optional[Sequence[str]] = None,
+) -> ResponseSurface:
+    """Evaluate ``model`` over a 2-D grid and wrap it as a surface.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator with ``predict(x)`` over the canonical input order.
+    indicator_index, indicator_name:
+        Which output column to extract and what to call it.
+    row_param, col_param:
+        Names of the two swept inputs.
+    fixed:
+        Values for every non-swept input.
+    input_names:
+        Input order the model expects (canonical ``INPUT_NAMES`` default).
+    """
+    names = list(input_names or INPUT_NAMES)
+    for name in (row_param, col_param):
+        if name not in names:
+            raise ValueError(f"unknown swept parameter {name!r}")
+    missing = set(names) - {row_param, col_param} - set(fixed)
+    if missing:
+        raise ValueError(f"fixed values missing for {sorted(missing)}")
+    row_values = np.asarray(row_values, dtype=float)
+    col_values = np.asarray(col_values, dtype=float)
+    grid_rows = []
+    for row_value in row_values:
+        batch = []
+        for col_value in col_values:
+            point = []
+            for name in names:
+                if name == row_param:
+                    point.append(row_value)
+                elif name == col_param:
+                    point.append(col_value)
+                else:
+                    point.append(fixed[name])
+            batch.append(point)
+        grid_rows.append(batch)
+    flat = np.asarray(grid_rows, dtype=float).reshape(-1, len(names))
+    predictions = np.asarray(model.predict(flat), dtype=float)
+    z = predictions[:, indicator_index].reshape(
+        row_values.size, col_values.size
+    )
+    return ResponseSurface(
+        row_param=row_param,
+        col_param=col_param,
+        row_values=row_values,
+        col_values=col_values,
+        z=z,
+        indicator=indicator_name,
+        fixed=dict(fixed),
+    )

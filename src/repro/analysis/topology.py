@@ -1,0 +1,251 @@
+"""Surface-shape classification: parallel slopes, valleys, and hills.
+
+Section 5 of the paper sorts the observed 3-D diagrams into three recurring
+categories and draws a tuning lesson from each:
+
+* **parallel slopes** (Figure 4) — one swept parameter barely matters once
+  the other is fixed: stop tuning it;
+* **valleys** (Figure 7) — a response-time trough that must be tracked by
+  adjusting *two* parameters together;
+* **hills** (Figure 8) — a throughput peak that one-parameter-at-a-time
+  tuning will miss.
+
+This module classifies a :class:`~repro.analysis.surface.ResponseSurface`
+into those categories programmatically, so the benches can *assert* that the
+reproduced figures have the paper's shapes instead of eyeballing plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .surface import ResponseSurface
+
+__all__ = ["SurfaceKind", "SurfaceClassification", "classify_profile", "classify_surface"]
+
+
+class SurfaceKind:
+    """The category labels (string constants, not an enum, for easy I/O)."""
+
+    FLAT = "flat"
+    PARALLEL_SLOPES = "parallel_slopes"
+    VALLEY = "valley"
+    HILL = "hill"
+    SLOPE = "slope"
+    SADDLE = "saddle"
+
+
+@dataclass
+class SurfaceClassification:
+    """Outcome of :func:`classify_surface`."""
+
+    kind: str
+    #: For parallel slopes: the parameter the indicator is insensitive to.
+    insensitive_param: Optional[str] = None
+    #: For valleys/hills: which swept parameter indexes the trough/crest.
+    along_param: Optional[str] = None
+    #: Diagnostic scores backing the decision.
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ""
+        if self.insensitive_param:
+            extra = f" (insensitive to {self.insensitive_param})"
+        if self.along_param:
+            extra = f" (along {self.along_param})"
+        return f"{self.kind}{extra}"
+
+
+def classify_profile(values: np.ndarray, margin: float = 0.10) -> str:
+    """Classify a 1-D profile as flat / valley / hill / slope.
+
+    ``margin`` is the relative prominence an interior extremum needs over
+    *both* endpoints to count (guards against classifying noise).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size < 3:
+        raise ValueError(f"need at least 3 points, got {values.size}")
+    spread = values.max() - values.min()
+    scale = max(abs(values).max(), 1e-12)
+    if spread <= margin * scale:
+        return SurfaceKind.FLAT
+    interior = values[1:-1]
+    min_index = int(np.argmin(values))
+    max_index = int(np.argmax(values))
+    prominence = margin * spread
+    has_interior_min = (
+        0 < min_index < values.size - 1
+        and values[0] >= values[min_index] + prominence
+        and values[-1] >= values[min_index] + prominence
+    )
+    has_interior_max = (
+        0 < max_index < values.size - 1
+        and values[0] <= values[max_index] - prominence
+        and values[-1] <= values[max_index] - prominence
+    )
+    if has_interior_min and not has_interior_max:
+        return SurfaceKind.VALLEY
+    if has_interior_max and not has_interior_min:
+        return SurfaceKind.HILL
+    if has_interior_min and has_interior_max:
+        # Both: pick the more prominent feature.
+        min_prom = min(values[0], values[-1]) - values[min_index]
+        max_prom = values[max_index] - max(values[0], values[-1])
+        return SurfaceKind.VALLEY if min_prom >= max_prom else SurfaceKind.HILL
+    del interior
+    return SurfaceKind.SLOPE
+
+
+def _axis_variation(z: np.ndarray, axis: int) -> float:
+    """Mean per-line spread along ``axis``, normalized by the global spread."""
+    spread = z.max() - z.min()
+    if spread <= 0:
+        return 0.0
+    line_spread = (z.max(axis=axis) - z.min(axis=axis)).mean()
+    return float(line_spread / spread)
+
+
+def classify_surface(
+    surface: ResponseSurface,
+    flat_threshold: float = 0.05,
+    parallel_threshold: float = 0.25,
+    feature_fraction: float = 0.5,
+    margin: float = 0.10,
+    log_scale: bool = False,
+) -> SurfaceClassification:
+    """Classify a response surface into the paper's Section 5 categories.
+
+    ``log_scale`` classifies ``log(z)`` instead of ``z`` — appropriate for
+    response times, whose saturation walls span decades and would otherwise
+    drown the structure elsewhere on the surface (requires positive z).
+
+    Decision procedure:
+
+    1. If the whole surface varies by less than ``flat_threshold`` of its
+       magnitude, it is *flat*.
+    2. If the variation along one swept axis is less than
+       ``parallel_threshold`` of the variation along the other, the surface
+       is *parallel slopes* and the weak axis's parameter is reported as the
+       one not worth tuning.
+    3. Otherwise each line of the grid is classified as a 1-D profile; if at
+       least ``feature_fraction`` of the lines along some orientation are
+       valleys (or hills), the surface is a *valley* (*hill*).
+    4. A surface with both strong valley and hill line populations is a
+       *saddle*; anything left is a *slope*.
+    """
+    z = surface.z
+    if log_scale:
+        if np.any(z <= 0):
+            raise ValueError("log_scale requires strictly positive z")
+        z = np.log(z)
+    scale = max(np.abs(z).max(), 1e-12)
+    spread = z.max() - z.min()
+    scores: Dict[str, float] = {"relative_spread": float(spread / scale)}
+    if spread <= flat_threshold * scale:
+        return SurfaceClassification(kind=SurfaceKind.FLAT, scores=scores)
+
+    # axis=0 collapses rows: variation *along rows* i.e. as row_param moves.
+    variation_row_param = _axis_variation(z, axis=0)
+    variation_col_param = _axis_variation(z, axis=1)
+    scores["variation_along_row_param"] = variation_row_param
+    scores["variation_along_col_param"] = variation_col_param
+
+    def _featureless(profiles) -> bool:
+        """True when the weak axis carries no hill/valley structure of its
+        own (a dome's short axis is weak but curved — not parallel)."""
+        labels = [classify_profile(p, margin) for p in profiles]
+        featured = sum(
+            1
+            for label in labels
+            if label in (SurfaceKind.HILL, SurfaceKind.VALLEY)
+        )
+        return featured / len(labels) < feature_fraction
+
+    if variation_row_param < parallel_threshold * variation_col_param and (
+        _featureless(z[:, j] for j in range(z.shape[1]))
+    ):
+        return SurfaceClassification(
+            kind=SurfaceKind.PARALLEL_SLOPES,
+            insensitive_param=surface.row_param,
+            scores=scores,
+        )
+    if variation_col_param < parallel_threshold * variation_row_param and (
+        _featureless(z[i, :] for i in range(z.shape[0]))
+    ):
+        return SurfaceClassification(
+            kind=SurfaceKind.PARALLEL_SLOPES,
+            insensitive_param=surface.col_param,
+            scores=scores,
+        )
+
+    # Hill: the global maximum is strictly interior and every edge stays
+    # below it — the paper's "one-parameter-at-a-time tuning misses the
+    # peak" situation (Figure 8).  Checked before the line census because a
+    # peaked surface often has messy transition lines on its flanks.
+    max_i, max_j = np.unravel_index(np.argmax(z), z.shape)
+    interior_max = (
+        0 < max_i < z.shape[0] - 1 and 0 < max_j < z.shape[1] - 1
+    )
+    if interior_max:
+        peak = z[max_i, max_j]
+        edge_maxima = np.array(
+            [z[0, :].max(), z[-1, :].max(), z[:, 0].max(), z[:, -1].max()]
+        )
+        shortfalls = (peak - edge_maxima) / spread
+        scores["min_edge_shortfall"] = float(shortfalls.min())
+        scores["mean_edge_shortfall"] = float(shortfalls.mean())
+        # A hill: the peak beats every edge (axis-aligned tuning that ends
+        # on a boundary cannot reach it) and the surface falls away by a
+        # meaningful amount on average (rules out a flat plateau with a
+        # noise bump).
+        if shortfalls.min() > 0 and shortfalls.mean() >= margin:
+            return SurfaceClassification(
+                kind=SurfaceKind.HILL,
+                along_param=None,
+                scores=scores,
+            )
+
+    # Line-wise feature census in both orientations.
+    row_lines = [classify_profile(z[i, :], margin) for i in range(z.shape[0])]
+    col_lines = [classify_profile(z[:, j], margin) for j in range(z.shape[1])]
+    fractions = {
+        ("valley", surface.col_param): _fraction(row_lines, SurfaceKind.VALLEY),
+        ("hill", surface.col_param): _fraction(row_lines, SurfaceKind.HILL),
+        ("valley", surface.row_param): _fraction(col_lines, SurfaceKind.VALLEY),
+        ("hill", surface.row_param): _fraction(col_lines, SurfaceKind.HILL),
+    }
+    for (feature, param), fraction in fractions.items():
+        scores[f"{feature}_fraction_along_{param}"] = fraction
+
+    best_valley = max(
+        (item for item in fractions.items() if item[0][0] == "valley"),
+        key=lambda item: item[1],
+    )
+    best_hill = max(
+        (item for item in fractions.items() if item[0][0] == "hill"),
+        key=lambda item: item[1],
+    )
+    valley_hit = best_valley[1] >= feature_fraction
+    hill_hit = best_hill[1] >= feature_fraction
+    if valley_hit and hill_hit:
+        return SurfaceClassification(kind=SurfaceKind.SADDLE, scores=scores)
+    if valley_hit:
+        return SurfaceClassification(
+            kind=SurfaceKind.VALLEY,
+            along_param=best_valley[0][1],
+            scores=scores,
+        )
+    if hill_hit:
+        return SurfaceClassification(
+            kind=SurfaceKind.HILL,
+            along_param=best_hill[0][1],
+            scores=scores,
+        )
+    return SurfaceClassification(kind=SurfaceKind.SLOPE, scores=scores)
+
+
+def _fraction(labels, wanted: str) -> float:
+    return sum(1 for label in labels if label == wanted) / len(labels)

@@ -1,0 +1,203 @@
+"""Model-guided performance tuning.
+
+The paper's closing motivation: "our model can effectively narrow down the
+configuration combinations which we should concentrate [on], thus radically
+reducing ineffectual experiments ... we can further build a system that
+recommends the best configuration according to a scoring function"
+(Section 5.3).  This module *is* that system:
+
+* a :class:`ScoringFunction` that rewards throughput and penalizes
+  response-time-constraint violations,
+* a :class:`ConfigurationAdvisor` that scans the model's predictions over a
+  candidate grid and returns ranked recommendations, and
+* :meth:`ConfigurationAdvisor.plan_experiments` — the test-case-minimization
+  workflow: out of thousands of model-evaluated candidates, pick the few
+  diverse, high-scoring configurations worth running on the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.sampler import ConfigSpace, full_factorial
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES, WorkloadConfig
+
+__all__ = ["ScoringFunction", "Recommendation", "ConfigurationAdvisor"]
+
+
+@dataclass
+class ScoringFunction:
+    """Score = throughput minus penalties for violated response limits.
+
+    Parameters
+    ----------
+    response_limits:
+        Max acceptable value per response-time indicator (seconds).  Missing
+        indicators are unconstrained.
+    throughput_indicator:
+        Output column to maximize.
+    penalty_weight:
+        Score units subtracted per second of constraint violation, scaled by
+        the throughput magnitude so penalties dominate when limits break.
+    """
+
+    response_limits: Dict[str, float] = field(default_factory=dict)
+    throughput_indicator: str = "effective_tps"
+    penalty_weight: float = 10.0
+
+    def __post_init__(self):
+        for name, limit in self.response_limits.items():
+            if limit <= 0:
+                raise ValueError(f"limit for {name} must be positive, got {limit}")
+        if self.penalty_weight < 0:
+            raise ValueError(
+                f"penalty_weight must be non-negative, got {self.penalty_weight}"
+            )
+
+    def score(
+        self, indicators: Dict[str, float]
+    ) -> float:
+        """Score one predicted indicator vector (higher is better)."""
+        if self.throughput_indicator not in indicators:
+            raise KeyError(
+                f"indicators lack {self.throughput_indicator!r}: "
+                f"{sorted(indicators)}"
+            )
+        throughput = indicators[self.throughput_indicator]
+        penalty = 0.0
+        for name, limit in self.response_limits.items():
+            if name not in indicators:
+                raise KeyError(f"indicators lack constrained {name!r}")
+            violation = max(0.0, indicators[name] - limit)
+            penalty += violation
+        return throughput - self.penalty_weight * abs(throughput) * penalty
+
+    def satisfied(self, indicators: Dict[str, float]) -> bool:
+        """Whether every response limit is met."""
+        return all(
+            indicators[name] <= limit
+            for name, limit in self.response_limits.items()
+        )
+
+
+@dataclass
+class Recommendation:
+    """One ranked configuration."""
+
+    config: WorkloadConfig
+    score: float
+    predicted: Dict[str, float]
+    meets_limits: bool
+
+
+class ConfigurationAdvisor:
+    """Rank candidate configurations by model-predicted score.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator over the canonical 4-input order.
+    scoring:
+        The scoring function; a throughput-only default if omitted.
+    output_names:
+        Output order of the model's predictions.
+    """
+
+    def __init__(
+        self,
+        model,
+        scoring: Optional[ScoringFunction] = None,
+        output_names: Optional[Sequence[str]] = None,
+    ):
+        self.model = model
+        self.scoring = scoring if scoring is not None else ScoringFunction()
+        self.output_names = list(output_names or OUTPUT_NAMES)
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, configs: Sequence[WorkloadConfig]) -> List[Recommendation]:
+        """Score every candidate, best first."""
+        if not configs:
+            raise ValueError("no candidate configurations")
+        matrix = np.vstack([c.as_vector() for c in configs])
+        predictions = np.asarray(self.model.predict(matrix), dtype=float)
+        if predictions.shape != (len(configs), len(self.output_names)):
+            raise ValueError(
+                f"model predicted shape {predictions.shape}, expected "
+                f"({len(configs)}, {len(self.output_names)})"
+            )
+        recommendations = []
+        for config, row in zip(configs, predictions):
+            indicators = dict(zip(self.output_names, (float(v) for v in row)))
+            recommendations.append(
+                Recommendation(
+                    config=config,
+                    score=self.scoring.score(indicators),
+                    predicted=indicators,
+                    meets_limits=self.scoring.satisfied(indicators),
+                )
+            )
+        recommendations.sort(key=lambda r: r.score, reverse=True)
+        return recommendations
+
+    def recommend(
+        self,
+        space: ConfigSpace,
+        levels: int = 8,
+        top_k: int = 5,
+    ) -> List[Recommendation]:
+        """Scan a full-factorial candidate grid and return the top ``top_k``."""
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        candidates = full_factorial(space, levels)
+        return self.evaluate(candidates)[:top_k]
+
+    def plan_experiments(
+        self,
+        space: ConfigSpace,
+        budget: int,
+        levels: int = 8,
+        diversity: float = 0.15,
+    ) -> List[Recommendation]:
+        """Pick ``budget`` diverse high-scoring configurations to verify.
+
+        Greedy max-score selection with a minimum normalized distance
+        ``diversity`` between chosen configurations, so the scarce real
+        experiments don't all probe the same corner — the paper's
+        "radically reducing ineffectual experiments".
+        """
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        ranked = self.evaluate(full_factorial(space, levels))
+        spans = np.array(
+            [max(r.high - r.low, 1e-12) for r in space.ranges], dtype=float
+        )
+        chosen: List[Recommendation] = []
+        for candidate in ranked:
+            if len(chosen) >= budget:
+                break
+            vector = candidate.config.as_vector() / spans
+            far_enough = all(
+                np.linalg.norm(vector - picked.config.as_vector() / spans)
+                >= diversity
+                for picked in chosen
+            )
+            if far_enough:
+                chosen.append(candidate)
+        return chosen
+
+    def to_text(self, recommendations: Sequence[Recommendation]) -> str:
+        """A readable ranking table."""
+        lines = [
+            "rank  " + "  ".join(f"{n:>15}" for n in INPUT_NAMES)
+            + "   score  limits"
+        ]
+        for rank, rec in enumerate(recommendations, start=1):
+            vector = rec.config.as_vector()
+            cells = "  ".join(f"{v:15g}" for v in vector)
+            ok = "ok" if rec.meets_limits else "VIOLATED"
+            lines.append(f"{rank:<4d}  {cells}  {rec.score:7.1f}  {ok}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""What-if analysis: predicted consequences of a configuration change.
+
+The question a performance engineer actually asks: *"what happens if I add
+four web threads?"*  Answered from a fitted ensemble so every predicted
+delta carries an uncertainty — a change smaller than the ensemble
+disagreement is reported as inconclusive rather than as a confident
+improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..models.ensemble import NeuralEnsemble
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES, WorkloadConfig
+
+__all__ = ["IndicatorChange", "WhatIfResult", "WhatIfAnalyzer"]
+
+
+@dataclass(frozen=True)
+class IndicatorChange:
+    """One indicator's predicted change for a proposed move."""
+
+    indicator: str
+    before: float
+    after: float
+    delta: float
+    #: Combined ensemble spread of the two predictions.
+    noise: float
+
+    @property
+    def conclusive(self) -> bool:
+        """Whether the delta exceeds the ensemble disagreement."""
+        return abs(self.delta) > 2.0 * self.noise
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "" if self.conclusive else "  (inconclusive)"
+        return (
+            f"{self.indicator}: {self.before:.4g} -> {self.after:.4g} "
+            f"({self.delta:+.4g} ± {2 * self.noise:.2g}){verdict}"
+        )
+
+
+@dataclass
+class WhatIfResult:
+    """All indicators' predicted changes for one proposed move."""
+
+    baseline: WorkloadConfig
+    proposed: WorkloadConfig
+    changes: List[IndicatorChange]
+
+    def __getitem__(self, indicator: str) -> IndicatorChange:
+        for change in self.changes:
+            if change.indicator == indicator:
+                return change
+        raise KeyError(indicator)
+
+    def conclusive_changes(self) -> List[IndicatorChange]:
+        """Only the changes that beat the model's uncertainty."""
+        return [c for c in self.changes if c.conclusive]
+
+    def to_text(self) -> str:
+        """Readable change list."""
+        before = self.baseline.as_vector()
+        after = self.proposed.as_vector()
+        moved = [
+            f"{name} {b:g} -> {a:g}"
+            for name, b, a in zip(INPUT_NAMES, before, after)
+            if b != a
+        ]
+        lines = [f"What if: {', '.join(moved) or 'no change'}"]
+        lines.extend(f"  {change}" for change in self.changes)
+        return "\n".join(lines)
+
+
+class WhatIfAnalyzer:
+    """Answers configuration-delta questions from a fitted ensemble.
+
+    Parameters
+    ----------
+    ensemble:
+        A fitted :class:`~repro.models.ensemble.NeuralEnsemble` over the
+        canonical 4-input / 5-output contract.
+    """
+
+    def __init__(self, ensemble: NeuralEnsemble):
+        if not ensemble.is_fitted:
+            raise ValueError("WhatIfAnalyzer needs a fitted ensemble")
+        self.ensemble = ensemble
+
+    def compare(
+        self, baseline: WorkloadConfig, deltas: Dict[str, float]
+    ) -> WhatIfResult:
+        """Predict the effect of adding ``deltas`` to ``baseline``.
+
+        ``deltas`` maps input names to additive changes, e.g.
+        ``{"web_threads": +4}``.
+        """
+        unknown = set(deltas) - set(INPUT_NAMES)
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        vector = baseline.as_vector()
+        moved = vector.copy()
+        for name, delta in deltas.items():
+            moved[INPUT_NAMES.index(name)] += delta
+        proposed = WorkloadConfig.from_vector(moved)
+
+        points = np.vstack([vector, proposed.as_vector()])
+        prediction = self.ensemble.predict_with_uncertainty(points)
+        changes = []
+        for j, indicator in enumerate(OUTPUT_NAMES):
+            before = float(prediction.mean[0, j])
+            after = float(prediction.mean[1, j])
+            noise = float(
+                np.hypot(prediction.std[0, j], prediction.std[1, j])
+            )
+            changes.append(
+                IndicatorChange(
+                    indicator=indicator,
+                    before=before,
+                    after=after,
+                    delta=after - before,
+                    noise=noise,
+                )
+            )
+        return WhatIfResult(
+            baseline=baseline, proposed=proposed, changes=changes
+        )

@@ -1,0 +1,155 @@
+"""Command-line entry point for one-shot workload characterization.
+
+``repro-characterize`` runs the full methodology — collect samples, train
+and cross-validate the model, classify surfaces, rank configurations — and
+writes the markdown report:
+
+.. code-block:: console
+
+   $ repro-characterize --samples 50 --output report.md
+   $ repro-characterize --scenario batch_heavy --backend analytic --fast
+
+(The table/figure reproduction CLI is separate: ``repro-experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.report import characterize
+from .models.neural import NeuralWorkloadModel
+from .workload.analytic import AnalyticWorkloadModel
+from .workload.sampler import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    latin_hypercube,
+)
+from .workload.scenarios import available_scenarios, scenario
+from .workload.service import ThreeTierWorkload
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-characterize`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-characterize",
+        description=(
+            "Characterize the 3-tier workload: collect samples, fit the "
+            "neural model, classify surfaces, recommend configurations."
+        ),
+    )
+    parser.add_argument(
+        "--samples", type=int, default=50, help="configurations to measure"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=12.0,
+        help="simulated seconds per measurement window",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default="paper",
+        help="transaction mix to characterize",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["simulator", "analytic"],
+        default="simulator",
+        help="measurement backend (analytic = fast closed-form surrogate)",
+    )
+    parser.add_argument(
+        "--injection",
+        type=float,
+        nargs=2,
+        default=(440.0, 580.0),
+        metavar=("LOW", "HIGH"),
+        help="injection-rate range to sweep",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="master seed"
+    )
+    parser.add_argument(
+        "--output",
+        default="characterization_report.md",
+        help="markdown file to write",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="cut training budgets for a quick smoke run",
+    )
+    return parser
+
+
+def _space(args: argparse.Namespace) -> ConfigSpace:
+    low, high = args.injection
+    if not low < high:
+        raise SystemExit(f"--injection needs LOW < HIGH, got {low} {high}")
+    return ConfigSpace(
+        [
+            ParameterRange("injection_rate", low, high),
+            ParameterRange("default_threads", 2, 22),
+            ParameterRange("mfg_threads", 10, 24),
+            ParameterRange("web_threads", 14, 23),
+        ]
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.samples < 10:
+        raise SystemExit("--samples must be at least 10")
+
+    classes = scenario(args.scenario)
+    if args.backend == "analytic":
+        backend = AnalyticWorkloadModel(classes=classes)
+    else:
+        backend = ThreeTierWorkload(
+            classes=classes,
+            warmup=2.0,
+            duration=args.duration,
+            seed=args.seed,
+        )
+    space = _space(args)
+
+    print(
+        f"Collecting {args.samples} samples from the {args.backend} "
+        f"backend (scenario: {args.scenario}) ..."
+    )
+    dataset = SampleCollector(backend).collect(
+        latin_hypercube(space, args.samples, seed=args.seed),
+        progress=lambda done, total: print(
+            f"  {done}/{total}", end="\r", flush=True
+        ),
+    )
+    print()
+    dataset.y = np.maximum(dataset.y, 1e-3)
+
+    model = NeuralWorkloadModel(
+        hidden=(16, 8),
+        error_threshold=0.02 if args.fast else 0.005,
+        max_epochs=1500 if args.fast else 10000,
+        seed=args.seed,
+    )
+    print("Fitting and analyzing ...")
+    report = characterize(
+        dataset, model=model, cv_folds=5, seed=args.seed
+    )
+    path = report.save(args.output)
+    print(f"Model accuracy: {100 * report.accuracy:.1f}%")
+    print(f"Surface shapes: {report.surface_kinds}")
+    print(f"Report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

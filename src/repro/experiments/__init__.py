@@ -1,0 +1,32 @@
+"""Paper experiments: one module per table/figure, plus the shared setup."""
+
+from . import config
+from .data import figure_dataset, make_workload, table2_dataset
+from .figures56 import SeriesFigure, run_figure5, run_figure6
+from .modeling import FigureModel, fit_figure_model, tuned_model
+from .runner import EXPERIMENTS, main, run_experiment
+from .surfaces import SurfaceFigure, run_figure4, run_figure7, run_figure8
+from .table2 import PAPER_TABLE2, Table2Result, run_table2
+
+__all__ = [
+    "config",
+    "make_workload",
+    "table2_dataset",
+    "figure_dataset",
+    "tuned_model",
+    "fit_figure_model",
+    "FigureModel",
+    "run_table2",
+    "Table2Result",
+    "PAPER_TABLE2",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "SeriesFigure",
+    "SurfaceFigure",
+    "EXPERIMENTS",
+    "run_experiment",
+    "main",
+]

@@ -1,0 +1,118 @@
+"""Canonical settings shared by every paper experiment.
+
+One place defines the simulated testbed, the sampled regions, and the tuned
+model hyper-parameters, so Table 2 and Figures 4-8 are all statements about
+the *same* system — as they are in the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..workload.sampler import ConfigSpace, ParameterRange
+
+__all__ = [
+    "DATA_DIR",
+    "MASTER_SEED",
+    "SIM_WARMUP",
+    "SIM_DURATION",
+    "INDICATOR_LABELS",
+    "FIGURE_INJECTION_RATE",
+    "FIGURE_MFG_THREADS",
+    "FIGURE_DEFAULT_SWEEP",
+    "FIGURE_WEB_SWEEP",
+    "TABLE2_SPACE",
+    "TABLE2_SAMPLES",
+    "FIGURE_SPACE",
+    "FIGURE_LHS_SAMPLES",
+    "TUNED_HIDDEN",
+    "TUNED_ERROR_THRESHOLD",
+    "TUNED_MAX_EPOCHS",
+    "data_path",
+]
+
+#: Where cached sample collections live (simulation output, regenerable).
+DATA_DIR = Path(__file__).resolve().parents[3] / "data"
+
+#: Master seed for sample designs and the simulator.
+MASTER_SEED = 42
+
+#: Simulated seconds discarded before measurement / measured, per run.
+SIM_WARMUP = 4.0
+SIM_DURATION = 16.0
+
+#: The figure plane includes the congested transition region, where
+#: threshold metrics (effective tps) are noisy; its samples use a longer
+#: measurement window.
+FIGURE_SIM_DURATION = 28.0
+
+#: Human-readable indicator labels in canonical output order (Table 2
+#: column headings).
+INDICATOR_LABELS = [
+    "Mfg Response Time",
+    "Dealer Purchase Response Time",
+    "Dealer Manage Response Time",
+    "Dealer Browse Autos Response Time",
+    "Effective Transactions per second",
+]
+
+#: The figures' caption tuple (560, x, 16, y): injection rate and mfg queue
+#: are fixed, default and web queues are swept.
+FIGURE_INJECTION_RATE = 560.0
+FIGURE_MFG_THREADS = 16
+FIGURE_DEFAULT_SWEEP = np.arange(0, 21, 2)  # 0 .. 20
+FIGURE_WEB_SWEEP = np.arange(14, 23, 1)  # 14 .. 22
+
+#: Table 2's sample collection covers the *operable* region around the
+#: paper's operating point: the thread-pool knees are inside the region but
+#: the deeply-saturated corners (where response times are window-limited and
+#: essentially unpredictable) are not — matching the paper's "3-tier setup
+#: with response time restrictions".
+TABLE2_SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 440, 580),
+        ParameterRange("default_threads", 2, 22),
+        ParameterRange("mfg_threads", 10, 24),
+        ParameterRange("web_threads", 14, 23),
+    ]
+)
+
+#: ~50 samples, as in the paper (Figure 5 plots ~40 training and Figure 6
+#: ~10 validation points per 5-fold trial).
+TABLE2_SAMPLES = 50
+
+#: The figure model must cover the full swept plane including its saturated
+#: left edge, so its collection region is wider.
+FIGURE_SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 520, 600),
+        ParameterRange("default_threads", 0, 22),
+        ParameterRange("mfg_threads", 12, 20),
+        ParameterRange("web_threads", 14, 23),
+    ]
+)
+
+#: Extra Latin-hypercube samples around the figure plane (added to the
+#: in-plane grid).
+FIGURE_LHS_SAMPLES = 30
+
+#: Independent simulator seeds averaged per figure sample (the paper
+#: averages counters to reduce sampling error).
+FIGURE_REPLICATIONS = 3
+
+#: The tuned model parameters — a two-hidden-layer MLP, the topology the
+#: paper's Figure 3 depicts.  The paper hand-tunes "the MLP node count and
+#: the termination threshold ... for the first trial; then the next four
+#: trials were generated automatically with the same node count and the same
+#: threshold value".  These values came from the equivalent tuning pass
+#: (see benchmarks/bench_hidden_nodes.py for the surrounding landscape).
+TUNED_HIDDEN = (16, 8)
+TUNED_ERROR_THRESHOLD = 0.005
+TUNED_MAX_EPOCHS = 12000
+
+
+def data_path(name: str) -> Path:
+    """Path of a cached dataset CSV under :data:`DATA_DIR`."""
+    return DATA_DIR / name

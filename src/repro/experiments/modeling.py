@@ -1,0 +1,74 @@
+"""Model construction shared by the paper experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.neural import NeuralWorkloadModel
+from ..workload.dataset import Dataset
+from . import config as C
+
+__all__ = ["tuned_model", "fit_figure_model", "FigureModel"]
+
+
+def tuned_model(trial: int = 0) -> NeuralWorkloadModel:
+    """A fresh neural model with the hand-tuned Section 4 settings.
+
+    The trial index only perturbs the weight-initialization seed — the node
+    count and termination threshold are reused across trials exactly as the
+    paper describes.
+    """
+    return NeuralWorkloadModel(
+        hidden=C.TUNED_HIDDEN,
+        error_threshold=C.TUNED_ERROR_THRESHOLD,
+        max_epochs=C.TUNED_MAX_EPOCHS,
+        seed=C.MASTER_SEED + trial,
+    )
+
+
+class FigureModel:
+    """The model behind the Figure 4/7/8 surfaces.
+
+    Response times on the figure plane span two orders of magnitude between
+    the valley floors and the saturated left edge, so the four response-time
+    indicators are fitted in log space (throughput stays linear); predictions
+    are exponentiated back to seconds.  This is a measurement-range choice,
+    not a change of model family — the paper's own figures plot a restricted
+    response-time range.
+    """
+
+    #: Indices of the response-time outputs (log-fitted).
+    _RT_COLUMNS = (0, 1, 2, 3)
+
+    def __init__(self, seed: int = 0):
+        self.net = NeuralWorkloadModel(
+            hidden=(16,),
+            error_threshold=0.005,
+            max_epochs=10000,
+            seed=seed,
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "FigureModel":
+        """Fit with response times log-transformed."""
+        y = np.asarray(y, dtype=float).copy()
+        for j in self._RT_COLUMNS:
+            y[:, j] = np.log(np.maximum(y[:, j], 1e-6))
+        self.net.fit(x, y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict in physical units (response times exponentiated).
+
+        Throughput predictions are clamped at zero — the model family can
+        dip below on extrapolation, but the quantity cannot.
+        """
+        y = np.asarray(self.net.predict(x), dtype=float)
+        for j in self._RT_COLUMNS:
+            y[:, j] = np.exp(y[:, j])
+        y[:, 4] = np.maximum(y[:, 4], 0.0)
+        return y
+
+
+def fit_figure_model(dataset: Dataset, seed: int = 0) -> FigureModel:
+    """Train the surface model on the figure collection."""
+    return FigureModel(seed=seed).fit(dataset.x, dataset.y)

@@ -1,0 +1,108 @@
+"""Learning curves: prediction error as a function of sample count.
+
+The paper's motivation is reducing "the amount of heuristic effort" — i.e.
+*experiments are the expensive resource*.  The learning curve answers the
+budgeting question directly: how many measured configurations does the
+model need before its validation error flattens?  Section 3.2 also lists
+"the number of training samples" among the factors governing the needed
+node count; the curve makes that dependence measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .cross_validation import cross_validate
+
+__all__ = ["LearningCurvePoint", "LearningCurve", "learning_curve"]
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """Cross-validated error at one training-set size."""
+
+    n_samples: int
+    error: float
+    per_indicator: np.ndarray
+
+
+@dataclass
+class LearningCurve:
+    """The full sweep."""
+
+    points: List[LearningCurvePoint]
+
+    @property
+    def sizes(self) -> List[int]:
+        """Sample counts, in sweep order."""
+        return [p.n_samples for p in self.points]
+
+    @property
+    def errors(self) -> List[float]:
+        """Overall errors, aligned with :attr:`sizes`."""
+        return [p.error for p in self.points]
+
+    def samples_for_error(self, target: float) -> Optional[int]:
+        """Smallest swept size whose error is <= ``target`` (None if never)."""
+        for point in self.points:
+            if point.error <= target:
+                return point.n_samples
+        return None
+
+    def to_text(self) -> str:
+        """Readable curve."""
+        lines = ["samples -> CV error"]
+        for point in self.points:
+            bar = "#" * int(round(200 * point.error))
+            lines.append(
+                f"  {point.n_samples:4d} -> {100 * point.error:6.2f}%  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def learning_curve(
+    model_factory: Callable[[int], object],
+    x: np.ndarray,
+    y: np.ndarray,
+    sizes: Sequence[int],
+    k: int = 5,
+    seed: Optional[int] = 0,
+) -> LearningCurve:
+    """Cross-validated error at each training-set size.
+
+    For each size ``n`` a random subset of ``n`` samples is drawn (same seed
+    family, so the subsets are nested-ish) and k-fold cross validation runs
+    on it.  Sizes smaller than ``k`` are rejected.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} samples but y has {y.shape[0]}")
+    sizes = sorted(set(int(s) for s in sizes))
+    if not sizes:
+        raise ValueError("no sizes to sweep")
+    if sizes[0] < k:
+        raise ValueError(f"smallest size {sizes[0]} is below k={k}")
+    if sizes[-1] > x.shape[0]:
+        raise ValueError(
+            f"largest size {sizes[-1]} exceeds the {x.shape[0]} samples"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(x.shape[0])
+    points = []
+    for n in sizes:
+        subset = order[:n]
+        report = cross_validate(
+            model_factory, x[subset], y[subset], k=k, seed=seed
+        )
+        points.append(
+            LearningCurvePoint(
+                n_samples=n,
+                error=report.overall_error,
+                per_indicator=report.average_errors.copy(),
+            )
+        )
+    return LearningCurve(points=points)

@@ -1,0 +1,143 @@
+"""Error metrics, including the paper's harmonic-mean relative error.
+
+Section 3.3: "For error metric, harmonic mean of (absolute error) / (actual
+value) is used."  Table 2 reports this per performance indicator, and the
+abstract's "95 % average prediction accuracy" is one minus the grand mean of
+those errors.  We implement that metric exactly, plus the standard regression
+metrics used by the baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "relative_errors",
+    "harmonic_mean",
+    "harmonic_mean_relative_error",
+    "mean_relative_error",
+    "prediction_accuracy",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "max_absolute_error",
+    "r_squared",
+]
+
+
+def _columns(predicted: np.ndarray, actual: np.ndarray):
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.ndim == 1:
+        predicted = predicted.reshape(-1, 1)
+    if actual.ndim == 1:
+        actual = actual.reshape(-1, 1)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"prediction shape {predicted.shape} != actual shape {actual.shape}"
+        )
+    if predicted.shape[0] == 0:
+        raise ValueError("metrics need at least one sample")
+    return predicted, actual
+
+
+def relative_errors(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """``|predicted - actual| / |actual|`` element-wise.
+
+    Raises if any actual value is zero — relative error is undefined there,
+    and the paper's indicators (response times, throughput) are positive.
+    """
+    predicted, actual = _columns(predicted, actual)
+    if np.any(actual == 0):
+        raise ValueError(
+            "relative error undefined for zero actual values; filter them or "
+            "use mean_absolute_error"
+        )
+    return np.abs(predicted - actual) / np.abs(actual)
+
+
+def harmonic_mean(values: np.ndarray) -> float:
+    """Harmonic mean ``n / sum(1 / v)`` of strictly positive values.
+
+    A zero is returned if any value is exactly zero (the harmonic mean's
+    limit as a value approaches zero), which matters here because a perfect
+    prediction yields a zero relative error.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("harmonic mean of an empty set is undefined")
+    if np.any(values < 0):
+        raise ValueError("harmonic mean requires non-negative values")
+    if np.any(values == 0):
+        return 0.0
+    return float(values.size / np.sum(1.0 / values))
+
+
+def harmonic_mean_relative_error(
+    predicted: np.ndarray, actual: np.ndarray, axis: Optional[int] = None
+) -> np.ndarray:
+    """The paper's Table 2 metric.
+
+    With ``axis=None`` the harmonic mean is taken over every element; with
+    ``axis=0`` a per-indicator (per-column) error vector is returned, which
+    is the shape Table 2 reports.
+    """
+    errors = relative_errors(predicted, actual)
+    if axis is None:
+        return harmonic_mean(errors)
+    if axis != 0:
+        raise ValueError(f"axis must be None or 0, got {axis}")
+    return np.array([harmonic_mean(errors[:, j]) for j in range(errors.shape[1])])
+
+
+def mean_relative_error(
+    predicted: np.ndarray, actual: np.ndarray, axis: Optional[int] = None
+) -> np.ndarray:
+    """Arithmetic mean of relative errors (an upper bound on the harmonic)."""
+    errors = relative_errors(predicted, actual)
+    if axis is None:
+        return float(errors.mean())
+    return errors.mean(axis=axis)
+
+
+def prediction_accuracy(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """``1 - harmonic-mean relative error`` — the paper's "95 % accuracy"."""
+    return 1.0 - float(harmonic_mean_relative_error(predicted, actual))
+
+
+def mean_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean of ``|predicted - actual|`` over all elements."""
+    predicted, actual = _columns(predicted, actual)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def root_mean_squared_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root of the mean squared element-wise error."""
+    predicted, actual = _columns(predicted, actual)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def max_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Worst-case absolute element-wise error."""
+    predicted, actual = _columns(predicted, actual)
+    return float(np.max(np.abs(predicted - actual)))
+
+
+def r_squared(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Coefficient of determination, averaged over output columns.
+
+    1.0 is perfect; 0.0 matches predicting each column's mean; negative is
+    worse than the mean.  Constant actual columns contribute 1.0 when
+    predicted exactly and 0.0 otherwise.
+    """
+    predicted, actual = _columns(predicted, actual)
+    scores = []
+    for j in range(actual.shape[1]):
+        residual = float(np.sum((actual[:, j] - predicted[:, j]) ** 2))
+        total = float(np.sum((actual[:, j] - actual[:, j].mean()) ** 2))
+        if total == 0:
+            scores.append(1.0 if residual == 0 else 0.0)
+        else:
+            scores.append(1.0 - residual / total)
+    return float(np.mean(scores))

@@ -1,0 +1,163 @@
+"""Residual diagnostics for fitted workload models.
+
+The paper's linear predecessors were "validated ... with regression
+statistics" [2]; the same discipline applies to the neural model.  Residual
+analysis answers the questions a table of average errors hides:
+
+* **bias** — does the model systematically over- or under-predict an
+  indicator? (mean residual significantly away from zero)
+* **heteroscedasticity** — do errors grow with the predicted magnitude?
+  (correlation between |residual| and prediction)
+* **outliers** — which specific configurations does the model get wrong?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["IndicatorResiduals", "ResidualReport", "residual_report"]
+
+
+@dataclass
+class IndicatorResiduals:
+    """Diagnostics for one output column."""
+
+    name: str
+    residuals: np.ndarray
+    predictions: np.ndarray
+    #: Mean residual over its standard error: |t| >~ 2 flags bias.
+    bias_t_statistic: float
+    #: Pearson correlation between |residual| and prediction magnitude.
+    scale_correlation: float
+    #: Indices of residuals beyond ``outlier_sigmas`` standard deviations.
+    outliers: List[int]
+
+    @property
+    def biased(self) -> bool:
+        """Whether the mean residual is significantly non-zero."""
+        return abs(self.bias_t_statistic) > 2.0
+
+    @property
+    def heteroscedastic(self) -> bool:
+        """Whether error scale visibly grows with prediction magnitude."""
+        return self.scale_correlation > 0.5
+
+
+@dataclass
+class ResidualReport:
+    """Diagnostics for every output column."""
+
+    per_indicator: List[IndicatorResiduals]
+
+    def __getitem__(self, name: str) -> IndicatorResiduals:
+        for entry in self.per_indicator:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def flagged(self) -> List[str]:
+        """Names of indicators with bias or heteroscedasticity flags."""
+        return [
+            entry.name
+            for entry in self.per_indicator
+            if entry.biased or entry.heteroscedastic
+        ]
+
+    def to_text(self) -> str:
+        """Readable diagnostic table."""
+        width = max(len(e.name) for e in self.per_indicator) + 2
+        lines = [
+            " " * width + f"{'bias t':>8s} {'scale r':>8s} "
+            f"{'outliers':>9s}  flags"
+        ]
+        for entry in self.per_indicator:
+            flags = []
+            if entry.biased:
+                flags.append("BIASED")
+            if entry.heteroscedastic:
+                flags.append("HETEROSCEDASTIC")
+            lines.append(
+                f"{entry.name.ljust(width)}"
+                f"{entry.bias_t_statistic:8.2f} "
+                f"{entry.scale_correlation:8.2f} "
+                f"{len(entry.outliers):9d}  {' '.join(flags)}"
+            )
+        return "\n".join(lines)
+
+
+def residual_report(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    output_names: Optional[Sequence[str]] = None,
+    outlier_sigmas: float = 3.0,
+) -> ResidualReport:
+    """Diagnose residuals column by column.
+
+    Parameters
+    ----------
+    predicted, actual:
+        Matched prediction/target matrices (validation-fold values, not
+        training-fold — residuals of a fitted training set flatter).
+    outlier_sigmas:
+        Standard-deviation multiple beyond which a residual is an outlier.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.ndim == 1:
+        predicted = predicted.reshape(-1, 1)
+    if actual.ndim == 1:
+        actual = actual.reshape(-1, 1)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: {predicted.shape} vs {actual.shape}"
+        )
+    if predicted.shape[0] < 3:
+        raise ValueError("need at least 3 samples for diagnostics")
+    if outlier_sigmas <= 0:
+        raise ValueError(
+            f"outlier_sigmas must be positive, got {outlier_sigmas}"
+        )
+    names = list(
+        output_names or [f"output_{j}" for j in range(predicted.shape[1])]
+    )
+    if len(names) != predicted.shape[1]:
+        raise ValueError(
+            f"{len(names)} names for {predicted.shape[1]} columns"
+        )
+
+    entries = []
+    n = predicted.shape[0]
+    for j, name in enumerate(names):
+        residuals = predicted[:, j] - actual[:, j]
+        std = residuals.std(ddof=1) if n > 1 else 0.0
+        standard_error = std / np.sqrt(n) if std > 0 else 0.0
+        t_statistic = (
+            residuals.mean() / standard_error if standard_error > 0 else 0.0
+        )
+        magnitude = np.abs(predicted[:, j])
+        abs_residuals = np.abs(residuals)
+        if abs_residuals.std() > 0 and magnitude.std() > 0:
+            correlation = float(
+                np.corrcoef(abs_residuals, magnitude)[0, 1]
+            )
+        else:
+            correlation = 0.0
+        outliers = (
+            [int(i) for i in np.flatnonzero(abs_residuals > outlier_sigmas * std)]
+            if std > 0
+            else []
+        )
+        entries.append(
+            IndicatorResiduals(
+                name=name,
+                residuals=residuals.copy(),
+                predictions=predicted[:, j].copy(),
+                bias_t_statistic=float(t_statistic),
+                scale_correlation=correlation,
+                outliers=outliers,
+            )
+        )
+    return ResidualReport(per_indicator=entries)

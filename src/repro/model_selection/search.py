@@ -1,0 +1,116 @@
+"""Hyper-parameter grid search.
+
+The paper tunes "the MLP node count and the termination threshold ...
+manually ... for the first trial" (Section 4).  :class:`GridSearch`
+mechanizes that step: it scores every parameter combination with k-fold
+cross validation and keeps the best, standing in for the engineer's hand
+tuning so the whole pipeline is reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .cross_validation import CrossValidationReport, cross_validate
+
+__all__ = ["GridSearchResult", "GridSearch"]
+
+
+@dataclass
+class GridSearchResult:
+    """One evaluated grid point."""
+
+    params: Dict[str, object]
+    report: CrossValidationReport
+
+    @property
+    def score(self) -> float:
+        """Overall cross-validation error (lower is better)."""
+        return self.report.overall_error
+
+
+class GridSearch:
+    """Exhaustive search over a parameter grid, scored by k-fold CV error.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(**params)`` must return a fresh fit/predict estimator.
+    grid:
+        Mapping of parameter name to the values to try; the search covers
+        the cartesian product.
+    k, seed:
+        Cross-validation structure used for scoring.
+
+    Examples
+    --------
+    >>> def factory(hidden, threshold):
+    ...     return make_model(hidden=hidden, threshold=threshold)
+    >>> search = GridSearch(factory, {"hidden": [8, 16], "threshold": [0.05]})
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., object],
+        grid: Dict[str, Sequence],
+        k: int = 5,
+        seed: Optional[int] = None,
+    ):
+        if not grid:
+            raise ValueError("grid must contain at least one parameter")
+        for name, values in grid.items():
+            if len(list(values)) == 0:
+                raise ValueError(f"grid parameter {name!r} has no values")
+        self.factory = factory
+        self.grid = {name: list(values) for name, values in grid.items()}
+        self.k = int(k)
+        self.seed = seed
+        self.results_: List[GridSearchResult] = []
+
+    def combinations(self) -> List[Dict[str, object]]:
+        """Every parameter dict in the cartesian product, in grid order."""
+        names = list(self.grid)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(self.grid[n] for n in names))
+        ]
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        output_names: Optional[Sequence[str]] = None,
+    ) -> GridSearchResult:
+        """Evaluate the whole grid; returns (and stores) the best result."""
+        self.results_ = []
+        for params in self.combinations():
+            report = cross_validate(
+                lambda trial, params=params: self.factory(**params),
+                x,
+                y,
+                k=self.k,
+                seed=self.seed,
+                output_names=output_names,
+            )
+            self.results_.append(GridSearchResult(params=params, report=report))
+        return self.best_
+
+    @property
+    def best_(self) -> GridSearchResult:
+        """The lowest-error grid point from the last :meth:`fit`."""
+        if not self.results_:
+            raise RuntimeError("best_ requested before fit()")
+        return min(self.results_, key=lambda r: r.score)
+
+    def summary(self) -> str:
+        """Human-readable ranking of all evaluated grid points."""
+        if not self.results_:
+            raise RuntimeError("summary() requested before fit()")
+        lines = ["params -> overall CV error"]
+        for result in sorted(self.results_, key=lambda r: r.score):
+            lines.append(f"{result.params!r} -> {100 * result.score:.2f} %")
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Data splitting: train/validation holdout and k-fold partitions.
+
+Section 3.3 of the paper: "In k-fold cross validation, a training set is
+divided into k sets of equal size. Then the model is trained for k times.
+For each trial, one set is excluded ...; k - 1 sets, called training set, are
+used to train the model, and the excluded set, termed validation set, is used
+to calculate the error metric".  :class:`KFold` produces exactly those
+(training, validation) index pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Fold", "KFold", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One cross-validation trial: index arrays into the sample set."""
+
+    trial: int
+    train_indices: np.ndarray
+    validation_indices: np.ndarray
+
+
+class KFold:
+    """Partition ``n`` samples into ``k`` near-equal folds.
+
+    Parameters
+    ----------
+    k:
+        Number of folds; the paper uses 5.
+    shuffle:
+        Shuffle sample order before partitioning (recommended when samples
+        are collected in configuration-sweep order, as workload samples are).
+    seed:
+        Seed for the shuffle.
+    """
+
+    def __init__(self, k: int = 5, shuffle: bool = True, seed: Optional[int] = None):
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = int(k)
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+
+    def split(self, n_samples: int) -> List[Fold]:
+        """Return the ``k`` folds for a sample set of size ``n_samples``.
+
+        Every sample lands in exactly one validation set; fold sizes differ
+        by at most one.
+        """
+        if n_samples < self.k:
+            raise ValueError(
+                f"cannot make {self.k} folds from {n_samples} samples"
+            )
+        order = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(order)
+        chunks = np.array_split(order, self.k)
+        folds = []
+        for trial, chunk in enumerate(chunks):
+            train = np.concatenate(
+                [other for j, other in enumerate(chunks) if j != trial]
+            )
+            folds.append(
+                Fold(
+                    trial=trial,
+                    train_indices=train,
+                    validation_indices=chunk.copy(),
+                )
+            )
+        return folds
+
+    def __iter__(self) -> Iterator[Fold]:  # pragma: no cover - convenience
+        raise TypeError("call split(n_samples) to iterate over folds")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KFold(k={self.k}, shuffle={self.shuffle}, seed={self.seed})"
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random holdout split; returns ``(x_train, x_test, y_train, y_test)``.
+
+    At least one sample is kept on each side.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} samples but y has {y.shape[0]}")
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    n_test = min(max(int(round(n * test_fraction)), 1), n - 1)
+    order = np.arange(n)
+    np.random.default_rng(seed).shuffle(order)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,74 @@
+"""The common interface of workload characterization models.
+
+A *model* in the paper's sense is "a multivariate relation between the
+controllable parameters and the performance indicators" (Section 1).  Every
+model in this package — the neural model and all baselines — exposes the
+same contract so the cross-validation driver, the response-surface analyzer
+and the configuration advisor are model-agnostic:
+
+``fit(x, y)``
+    Approximate the relation from a sample collection.
+``predict(x)``
+    Predict indicator vectors for (possibly unseen) configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WorkloadModel"]
+
+
+class WorkloadModel:
+    """Abstract base: n-configuration-parameter to m-indicator regressor."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "WorkloadModel":
+        """Learn the relation from samples; returns self."""
+        raise NotImplementedError
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Indicator predictions, shape ``(n_samples, n_outputs)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_xy(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Coerce a training pair into 2-D float arrays and sanity check."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        if x.ndim != 2 or y.ndim != 2:
+            raise ValueError(
+                f"x and y must be 1-D or 2-D, got shapes {x.shape}, {y.shape}"
+            )
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a model on zero samples")
+        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
+            raise ValueError("training data contains NaN or infinity")
+        return x, y
+
+    @staticmethod
+    def _validate_x(x: np.ndarray, n_inputs: Optional[int]) -> np.ndarray:
+        """Coerce a prediction input into a 2-D float array."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1) if n_inputs is None or x.size == n_inputs else x.reshape(-1, 1)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
+        if n_inputs is not None and x.shape[1] != n_inputs:
+            raise ValueError(
+                f"model was fitted on {n_inputs} inputs, got {x.shape[1]}"
+            )
+        return x

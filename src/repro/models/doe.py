@@ -1,0 +1,247 @@
+"""Design of Experiments — the prior methodology (paper refs [2, 20, 21]).
+
+"These works attempted to train the model in the Design of Experiments (DOE)
+approach. First, a fixed order linear model is assumed, and the coefficients
+are then determined by a carefully designed set of experiments" (Section 6).
+We implement that approach faithfully so the benches can compare it against
+the paper's rough-mixture-of-samples neural methodology:
+
+* two-level **full factorial** designs (every corner of the space),
+* two-level **fractional factorial** designs built from generator columns,
+* **central composite** designs (factorial corners + axial points + center)
+  for second-order models,
+
+plus :class:`DOEWorkloadModel`, which fits the assumed fixed-order model
+(main effects, optional two-way interactions, optional quadratics) to the
+design's responses and exposes the usual fit/predict interface along with
+per-factor effect estimates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import WorkloadModel
+from .linear import LinearWorkloadModel
+
+__all__ = [
+    "FactorLevels",
+    "two_level_full_factorial",
+    "two_level_fractional_factorial",
+    "central_composite",
+    "DOEWorkloadModel",
+]
+
+
+@dataclass(frozen=True)
+class FactorLevels:
+    """Low/high settings of one factor (configuration parameter)."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ValueError(
+                f"{self.name}: need low < high, got {self.low}, {self.high}"
+            )
+
+    @property
+    def center(self) -> float:
+        """The design's center level."""
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def half_range(self) -> float:
+        """Half the low-to-high span (the coded-unit scale)."""
+        return 0.5 * (self.high - self.low)
+
+    def decode(self, coded: float) -> float:
+        """Map a coded level (-1 .. +1) to a physical value."""
+        return self.center + coded * self.half_range
+
+
+def two_level_full_factorial(factors: Sequence[FactorLevels]) -> np.ndarray:
+    """All ``2^k`` corner points, in physical units (shape ``(2^k, k)``)."""
+    if not factors:
+        raise ValueError("need at least one factor")
+    corners = itertools.product(*[(-1.0, 1.0)] * len(factors))
+    return np.array(
+        [[f.decode(c) for f, c in zip(factors, corner)] for corner in corners]
+    )
+
+
+def two_level_fractional_factorial(
+    factors: Sequence[FactorLevels],
+    n_base: int,
+    generators: Sequence[Tuple[int, ...]],
+) -> np.ndarray:
+    """A ``2^(k-p)`` design: full factorial on ``n_base`` factors, the rest
+    generated as products of base columns.
+
+    Parameters
+    ----------
+    factors:
+        All ``k`` factors, base factors first.
+    n_base:
+        How many leading factors form the full-factorial base.
+    generators:
+        One tuple of base-factor indices per generated factor, e.g.
+        ``[(0, 1, 2)]`` sets factor 3's coded level to the product of
+        factors 0, 1 and 2 (the classic ``2^(4-1)`` design with D = ABC).
+    """
+    k = len(factors)
+    if not 1 <= n_base <= k:
+        raise ValueError(f"n_base must lie in [1, {k}], got {n_base}")
+    if len(generators) != k - n_base:
+        raise ValueError(
+            f"need {k - n_base} generators for {k} factors with "
+            f"{n_base} base factors, got {len(generators)}"
+        )
+    for gen in generators:
+        if not gen or any(not 0 <= g < n_base for g in gen):
+            raise ValueError(
+                f"generator {gen!r} must index base factors 0..{n_base - 1}"
+            )
+    rows = []
+    for corner in itertools.product(*[(-1.0, 1.0)] * n_base):
+        coded = list(corner)
+        for gen in generators:
+            value = 1.0
+            for g in gen:
+                value *= corner[g]
+            coded.append(value)
+        rows.append([f.decode(c) for f, c in zip(factors, coded)])
+    return np.array(rows)
+
+
+def central_composite(
+    factors: Sequence[FactorLevels],
+    alpha: float = 1.0,
+    center_points: int = 1,
+) -> np.ndarray:
+    """Factorial corners + axial points at ``±alpha`` + replicated center.
+
+    ``alpha = 1`` keeps the axial points on the faces (a face-centered CCD),
+    which respects hard bounds like non-negative thread counts.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if center_points < 0:
+        raise ValueError(f"center_points must be >= 0, got {center_points}")
+    rows = list(two_level_full_factorial(factors))
+    k = len(factors)
+    for axis in range(k):
+        for sign in (-alpha, alpha):
+            coded = [0.0] * k
+            coded[axis] = sign
+            rows.append(
+                np.array([f.decode(c) for f, c in zip(factors, coded)])
+            )
+    center = np.array([f.center for f in factors])
+    rows.extend([center.copy() for _ in range(center_points)])
+    return np.vstack(rows)
+
+
+class DOEWorkloadModel(WorkloadModel):
+    """The prior work's fixed-order linear model over coded factors.
+
+    Parameters
+    ----------
+    factors:
+        Factor definitions; inputs are coded to [-1, 1] before fitting, so
+        effect estimates are directly comparable across factors.
+    interactions:
+        Include all two-way interaction terms.
+    quadratic:
+        Include per-factor quadratic terms (needs axial/center points to be
+        estimable — use :func:`central_composite`).
+    """
+
+    def __init__(
+        self,
+        factors: Sequence[FactorLevels],
+        interactions: bool = True,
+        quadratic: bool = False,
+    ):
+        if not factors:
+            raise ValueError("need at least one factor")
+        self.factors = list(factors)
+        self.interactions = bool(interactions)
+        self.quadratic = bool(quadratic)
+        self._solver = LinearWorkloadModel(ridge=1e-10)
+        self._term_names: List[str] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._solver.is_fitted
+
+    # ------------------------------------------------------------------
+
+    def _code(self, x: np.ndarray) -> np.ndarray:
+        coded = np.empty_like(x)
+        for j, factor in enumerate(self.factors):
+            coded[:, j] = (x[:, j] - factor.center) / factor.half_range
+        return coded
+
+    def _terms(self, coded: np.ndarray) -> np.ndarray:
+        k = len(self.factors)
+        columns = [coded[:, j] for j in range(k)]
+        names = [f.name for f in self.factors]
+        if self.interactions:
+            for a, b in itertools.combinations(range(k), 2):
+                columns.append(coded[:, a] * coded[:, b])
+                names.append(f"{self.factors[a].name}*{self.factors[b].name}")
+        if self.quadratic:
+            for j in range(k):
+                columns.append(coded[:, j] ** 2)
+                names.append(f"{self.factors[j].name}^2")
+        self._term_names = names
+        return np.column_stack(columns)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DOEWorkloadModel":
+        """Fit the assumed model to the design's measured responses."""
+        x, y = self._validate_xy(x, y)
+        if x.shape[1] != len(self.factors):
+            raise ValueError(
+                f"model has {len(self.factors)} factors but x has "
+                f"{x.shape[1]} columns"
+            )
+        self._solver.fit(self._terms(self._code(x)), y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted fixed-order model."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x = self._validate_x(x, len(self.factors))
+        return self._solver.predict(self._terms(self._code(x)))
+
+    def effects(self, output_index: int = 0) -> Dict[str, float]:
+        """Coded-unit effect estimates for one output, largest first.
+
+        In a two-level design, a term's coefficient is half its classical
+        "effect" (the predicted change from low to high); we report the
+        coefficients, whose *relative* magnitudes rank factor importance.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("effects() requested before fit()")
+        coefficients = self._solver.coefficients_[:, output_index]
+        pairs = sorted(
+            zip(self._term_names, coefficients),
+            key=lambda pair: abs(pair[1]),
+            reverse=True,
+        )
+        return dict(pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DOEWorkloadModel(factors={[f.name for f in self.factors]}, "
+            f"interactions={self.interactions}, quadratic={self.quadratic})"
+        )

@@ -1,0 +1,130 @@
+"""Ensembles of neural workload models, with prediction uncertainty.
+
+Section 3.3 ties a model's *validity* to its prediction error on unseen
+samples; an ensemble makes that validity visible per prediction: train K
+networks that differ only in their random initialization (the paper notes
+"the weights and biases of the network are initialized with random values"),
+and report the spread of their predictions.  Where the members agree the
+model is well-determined by the data; where they diverge, the prediction is
+extrapolating or the data is thin — exactly the configurations an engineer
+should actually measure instead of trusting the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .base import WorkloadModel
+from .neural import NeuralWorkloadModel
+
+__all__ = ["EnsemblePrediction", "NeuralEnsemble"]
+
+
+@dataclass
+class EnsemblePrediction:
+    """Mean prediction with member spread."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    #: Per-member raw predictions, shape (members, samples, outputs).
+    members: np.ndarray
+
+    def interval(self, width: float = 2.0):
+        """(lower, upper) = mean ± width·std."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        return self.mean - width * self.std, self.mean + width * self.std
+
+    @property
+    def relative_spread(self) -> np.ndarray:
+        """``std / |mean|`` — a unitless confidence signal per prediction."""
+        return self.std / np.maximum(np.abs(self.mean), 1e-12)
+
+
+class NeuralEnsemble(WorkloadModel):
+    """K independently-initialized copies of the paper's neural model.
+
+    Parameters
+    ----------
+    n_members:
+        Ensemble size (5 is plenty for a spread estimate).
+    seed:
+        Base seed; member k uses ``seed + k``.
+    **model_kwargs:
+        Passed through to every :class:`NeuralWorkloadModel`
+        (hidden sizes, error threshold, ...).
+    """
+
+    def __init__(
+        self,
+        n_members: int = 5,
+        seed: int = 0,
+        **model_kwargs,
+    ):
+        if n_members < 2:
+            raise ValueError(f"n_members must be >= 2, got {n_members}")
+        if "seed" in model_kwargs:
+            raise ValueError("pass the base seed as `seed`, not in kwargs")
+        self.n_members = int(n_members)
+        self.seed = int(seed)
+        self.model_kwargs = dict(model_kwargs)
+        self.members_: List[NeuralWorkloadModel] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return bool(self.members_)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NeuralEnsemble":
+        """Train every member on the same samples, different init seeds."""
+        x, y = self._validate_xy(x, y)
+        self.members_ = []
+        for k in range(self.n_members):
+            member = NeuralWorkloadModel(
+                seed=self.seed + 1000 * k, **self.model_kwargs
+            )
+            member.fit(x, y)
+            self.members_.append(member)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """The ensemble mean (the usual point prediction)."""
+        return self.predict_with_uncertainty(x).mean
+
+    def predict_with_uncertainty(self, x: np.ndarray) -> EnsemblePrediction:
+        """Mean, spread and raw member predictions."""
+        if not self.is_fitted:
+            raise RuntimeError("predict called before fit()")
+        stacked = np.stack(
+            [member.predict(x) for member in self.members_], axis=0
+        )
+        return EnsemblePrediction(
+            mean=stacked.mean(axis=0),
+            std=stacked.std(axis=0),
+            members=stacked,
+        )
+
+    def disagreement_hotspots(
+        self, x: np.ndarray, top_k: int = 5
+    ) -> Sequence[int]:
+        """Indices of the ``top_k`` inputs with the largest relative spread.
+
+        These are the configurations worth *measuring* — the model-guided
+        experiment-selection idea of Section 5, driven by uncertainty
+        instead of score.
+        """
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        prediction = self.predict_with_uncertainty(x)
+        per_sample = prediction.relative_spread.max(axis=1)
+        order = np.argsort(-per_sample)
+        return [int(i) for i in order[:top_k]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NeuralEnsemble(n_members={self.n_members}, "
+            f"fitted={self.is_fitted})"
+        )

@@ -1,0 +1,69 @@
+"""Linear baseline (Chow et al. [2] and the other prior work in Section 6).
+
+The prior approaches the paper argues against "usually relied on linear
+models to approximate program behavior".  :class:`LinearWorkloadModel` is
+that baseline: ordinary least squares (optionally ridge-regularized) from
+configuration parameters to indicators.  The model-comparison bench shows
+where it matches the neural model (near-linear regions) and where it cannot
+(the valleys and hills).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import WorkloadModel
+
+__all__ = ["LinearWorkloadModel"]
+
+
+class LinearWorkloadModel(WorkloadModel):
+    """Ordinary least squares: ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    ridge:
+        L2 penalty on the coefficients (0 = plain OLS).  A small default
+        keeps the normal equations well-posed on tiny sample sets.
+    """
+
+    def __init__(self, ridge: float = 0.0):
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.ridge = float(ridge)
+        self.coefficients_: Optional[np.ndarray] = None  # (n_inputs, m)
+        self.intercept_: Optional[np.ndarray] = None  # (m,)
+        self._n_inputs: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.coefficients_ is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearWorkloadModel":
+        """Solve the (ridge) least-squares problem in closed form."""
+        x, y = self._validate_xy(x, y)
+        self._n_inputs = x.shape[1]
+        design = np.column_stack([x, np.ones(x.shape[0])])
+        if self.ridge:
+            penalty = self.ridge * np.eye(design.shape[1])
+            penalty[-1, -1] = 0.0  # never shrink the intercept
+            gram = design.T @ design + penalty
+            solution = np.linalg.solve(gram, design.T @ y)
+        else:
+            solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.coefficients_ = solution[:-1]
+        self.intercept_ = solution[-1]
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted hyperplane."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x = self._validate_x(x, self._n_inputs)
+        return x @ self.coefficients_ + self.intercept_
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearWorkloadModel(ridge={self.ridge}, fitted={self.is_fitted})"

@@ -1,0 +1,78 @@
+"""Log-linear baseline (the conclusion's "logarithmic functions").
+
+Queueing latencies grow roughly like ``1 / (capacity - load)``, which is far
+better captured by logarithms of the configuration parameters than by raw
+polynomials.  :class:`LogLinearWorkloadModel` regresses the indicators on
+``[x, log(x + shift)]`` features, optionally predicting ``log(y)`` instead
+of ``y`` (multiplicative errors suit response times, which span orders of
+magnitude between tuned and saturated configurations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import WorkloadModel
+from .linear import LinearWorkloadModel
+
+__all__ = ["LogLinearWorkloadModel"]
+
+
+class LogLinearWorkloadModel(WorkloadModel):
+    """Least squares over linear plus logarithmic features.
+
+    Parameters
+    ----------
+    log_outputs:
+        Fit ``log(y)`` and exponentiate at prediction time.  Requires
+        strictly positive targets (true of all five paper indicators except
+        a fully-starved effective throughput, which is floored).
+    ridge:
+        L2 penalty passed to the underlying linear solve.
+    """
+
+    #: Floor applied to targets before taking logs in ``log_outputs`` mode.
+    _Y_FLOOR = 1e-9
+
+    def __init__(self, log_outputs: bool = True, ridge: float = 1e-8):
+        self.log_outputs = bool(log_outputs)
+        self._solver = LinearWorkloadModel(ridge=ridge)
+        self._shift: Optional[np.ndarray] = None
+        self._n_inputs: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._solver.is_fitted
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogLinearWorkloadModel":
+        """Learn the input shift and solve the feature regression."""
+        x, y = self._validate_xy(x, y)
+        self._n_inputs = x.shape[1]
+        # Shift each input so its training minimum maps to 1 (log -> 0).
+        self._shift = 1.0 - x.min(axis=0)
+        targets = (
+            np.log(np.maximum(y, self._Y_FLOOR)) if self.log_outputs else y
+        )
+        self._solver.fit(self._features(x), targets)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted model (exponentiating in log-output mode)."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x = self._validate_x(x, self._n_inputs)
+        predicted = self._solver.predict(self._features(x))
+        return np.exp(predicted) if self.log_outputs else predicted
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        shifted = np.maximum(x + self._shift, 1e-9)
+        return np.column_stack([x, np.log(shifted)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogLinearWorkloadModel(log_outputs={self.log_outputs}, "
+            f"fitted={self.is_fitted})"
+        )

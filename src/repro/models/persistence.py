@@ -1,0 +1,134 @@
+"""Persisting fitted workload models (network + scalers) as one document.
+
+`repro.nn.serialization` stores a bare network; a *workload model* is more —
+the Section 3.1 scalers are part of the learned artifact (a network without
+its standardization statistics predicts garbage).  This module serializes a
+fitted :class:`~repro.models.neural.NeuralWorkloadModel` completely, so a
+characterized workload can be handed to another engineer (or a CI job) as a
+single JSON file and queried without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..nn.serialization import from_dict as network_from_dict
+from ..nn.serialization import to_dict as network_to_dict
+from ..preprocessing.scalers import IdentityScaler, Scaler, StandardScaler
+from .neural import NeuralWorkloadModel
+
+__all__ = [
+    "MODEL_FORMAT_VERSION",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+]
+
+MODEL_FORMAT_VERSION = 1
+
+
+def _scaler_to_dict(scaler: Scaler) -> dict:
+    if isinstance(scaler, StandardScaler):
+        return {
+            "kind": "standard",
+            "mean": scaler.mean_.tolist(),
+            "scale": scaler.scale_.tolist(),
+        }
+    if isinstance(scaler, IdentityScaler):
+        return {"kind": "identity", "n_features": scaler._n_features}
+    raise TypeError(
+        f"cannot serialize scaler of type {type(scaler).__name__}"
+    )
+
+
+def _scaler_from_dict(payload: dict) -> Scaler:
+    kind = payload.get("kind")
+    if kind == "standard":
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(payload["mean"], dtype=float)
+        scaler.scale_ = np.asarray(payload["scale"], dtype=float)
+        return scaler
+    if kind == "identity":
+        scaler = IdentityScaler()
+        scaler._n_features = int(payload["n_features"])
+        return scaler
+    raise ValueError(f"unknown scaler kind {kind!r}")
+
+
+def model_to_dict(model: NeuralWorkloadModel) -> dict:
+    """Serialize a fitted model (hyper-parameters, scalers, networks)."""
+    if not model.is_fitted:
+        raise ValueError("only fitted models can be serialized")
+    return {
+        "format_version": MODEL_FORMAT_VERSION,
+        "kind": "neural_workload_model",
+        "hyper": {
+            "hidden": list(model.hidden),
+            "error_threshold": model.error_threshold,
+            "max_epochs": model.max_epochs,
+            "joint": model.joint,
+            "standardize_inputs": model.standardize_inputs,
+            "standardize_outputs": model.standardize_outputs,
+            "learning_rate": model.learning_rate,
+            "hidden_activation": model.hidden_activation,
+            "l2": model.l2,
+            "seed": model.seed,
+        },
+        "x_scaler": _scaler_to_dict(model.x_scaler_),
+        "y_scaler": _scaler_to_dict(model.y_scaler_),
+        "networks": [network_to_dict(net) for net in model.networks_],
+    }
+
+
+def model_from_dict(payload: dict) -> NeuralWorkloadModel:
+    """Inverse of :func:`model_to_dict`; returns a ready-to-predict model."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected dict, got {type(payload).__name__}")
+    if payload.get("format_version") != MODEL_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format_version {payload.get('format_version')!r}"
+        )
+    if payload.get("kind") != "neural_workload_model":
+        raise ValueError(f"unsupported kind {payload.get('kind')!r}")
+    hyper = payload["hyper"]
+    model = NeuralWorkloadModel(
+        hidden=tuple(hyper["hidden"]),
+        error_threshold=hyper["error_threshold"],
+        max_epochs=hyper["max_epochs"],
+        joint=hyper["joint"],
+        standardize_inputs=hyper["standardize_inputs"],
+        standardize_outputs=hyper["standardize_outputs"],
+        learning_rate=hyper["learning_rate"],
+        hidden_activation=hyper["hidden_activation"],
+        l2=hyper["l2"],
+        seed=hyper["seed"],
+    )
+    model.x_scaler_ = _scaler_from_dict(payload["x_scaler"])
+    model.y_scaler_ = _scaler_from_dict(payload["y_scaler"])
+    model.networks_ = [network_from_dict(n) for n in payload["networks"]]
+    model._n_inputs = model.networks_[0].n_inputs
+    if model.joint:
+        model._n_outputs = model.networks_[0].n_outputs
+    else:
+        model._n_outputs = len(model.networks_)
+    return model
+
+
+def save_model(
+    model: NeuralWorkloadModel, path: Union[str, Path]
+) -> Path:
+    """Write the fitted model to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(model_to_dict(model)))
+    return path
+
+
+def load_model(path: Union[str, Path]) -> NeuralWorkloadModel:
+    """Read a model written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,125 @@
+"""Polynomial baseline (the conclusion's proposed analytic model).
+
+The paper's future work: "we can try to approximate it with other non-linear
+functions such as polynomial and logarithmic functions".  This model expands
+the configuration parameters into all monomials up to a chosen degree
+(including cross terms, which carry the thread-pool interactions) and solves
+a linear least-squares problem over the expanded basis.  Unlike the MLP it
+is fully analytic — every coefficient is attributable to a specific
+parameter interaction — at the cost of a fixed functional form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..preprocessing.scalers import StandardScaler
+from .base import WorkloadModel
+from .linear import LinearWorkloadModel
+
+__all__ = ["monomial_exponents", "PolynomialWorkloadModel"]
+
+
+def monomial_exponents(n_inputs: int, degree: int) -> List[Tuple[int, ...]]:
+    """All exponent tuples with ``1 <= total degree <= degree``.
+
+    Ordered by total degree then lexicographically, so coefficient vectors
+    are stable across fits.  The constant term is excluded (the underlying
+    linear solve supplies the intercept).
+    """
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    exponents = []
+    for total in range(1, degree + 1):
+        for combo in itertools.combinations_with_replacement(
+            range(n_inputs), total
+        ):
+            exponent = [0] * n_inputs
+            for index in combo:
+                exponent[index] += 1
+            exponents.append(tuple(exponent))
+    return exponents
+
+
+class PolynomialWorkloadModel(WorkloadModel):
+    """Least squares over a full polynomial basis of the inputs.
+
+    Parameters
+    ----------
+    degree:
+        Maximum total degree of the monomials (2 or 3 are typical; higher
+        degrees need many samples to stay determined).
+    ridge:
+        L2 penalty on the expanded-basis coefficients; polynomial bases are
+        ill-conditioned, so a small ridge is on by default.
+    standardize:
+        Standardize inputs before expansion (strongly recommended — powers
+        of raw thread counts span many orders of magnitude).
+    """
+
+    def __init__(
+        self, degree: int = 2, ridge: float = 1e-6, standardize: bool = True
+    ):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = int(degree)
+        self.standardize = bool(standardize)
+        self._solver = LinearWorkloadModel(ridge=ridge)
+        self._scaler: Optional[StandardScaler] = None
+        self._exponents: Optional[List[Tuple[int, ...]]] = None
+        self._n_inputs: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._solver.is_fitted
+
+    @property
+    def n_terms(self) -> int:
+        """Number of basis monomials (excluding the intercept)."""
+        if self._exponents is None:
+            raise RuntimeError("n_terms requested before fit()")
+        return len(self._exponents)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PolynomialWorkloadModel":
+        """Expand the basis and solve the linear problem."""
+        x, y = self._validate_xy(x, y)
+        self._n_inputs = x.shape[1]
+        if self.standardize:
+            self._scaler = StandardScaler()
+            x = self._scaler.fit_transform(x)
+        else:
+            self._scaler = None
+        self._exponents = monomial_exponents(self._n_inputs, self.degree)
+        self._solver.fit(self._expand(x), y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted polynomial."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x = self._validate_x(x, self._n_inputs)
+        if self._scaler is not None:
+            x = self._scaler.transform(x)
+        return self._solver.predict(self._expand(x))
+
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        columns = []
+        for exponent in self._exponents:
+            column = np.ones(x.shape[0])
+            for feature, power in enumerate(exponent):
+                if power:
+                    column = column * x[:, feature] ** power
+            columns.append(column)
+        return np.column_stack(columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolynomialWorkloadModel(degree={self.degree}, "
+            f"fitted={self.is_fitted})"
+        )

@@ -1,0 +1,94 @@
+"""RBF-network workload model.
+
+Section 2.1 lists Radial Basis Function networks beside MLPs as the neural
+architectures used for function approximation; this wrapper puts the
+from-scratch :class:`~repro.nn.rbf.RBFNetwork` behind the common
+:class:`~repro.models.base.WorkloadModel` interface (with the same
+standardization recipe as the neural model, which matters just as much for
+distance-based kernels as for gradient descent).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.rbf import RBFNetwork
+from ..preprocessing.scalers import IdentityScaler, Scaler, StandardScaler
+from .base import WorkloadModel
+
+__all__ = ["RBFWorkloadModel"]
+
+
+class RBFWorkloadModel(WorkloadModel):
+    """Gaussian-kernel interpolation of the configuration space.
+
+    Parameters
+    ----------
+    n_centers:
+        Number of kernels (capped at the sample count during fit).
+    width:
+        Kernel width in standardized units; ``None`` uses the mean
+        center-to-center distance.
+    ridge:
+        Regularization of the linear readout.
+    standardize:
+        Standardize inputs and outputs around the network.
+    seed:
+        Seed for center placement.
+    """
+
+    def __init__(
+        self,
+        n_centers: int = 20,
+        width: Optional[float] = None,
+        ridge: float = 1e-6,
+        standardize: bool = True,
+        seed: Optional[int] = 0,
+    ):
+        self.n_centers = int(n_centers)
+        self.width = width
+        self.ridge = float(ridge)
+        self.standardize = bool(standardize)
+        self.seed = seed
+        self.network_: Optional[RBFNetwork] = None
+        self.x_scaler_: Optional[Scaler] = None
+        self.y_scaler_: Optional[Scaler] = None
+        self._n_inputs: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.network_ is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RBFWorkloadModel":
+        """Scale, place centers, solve the readout."""
+        x, y = self._validate_xy(x, y)
+        self._n_inputs = x.shape[1]
+        scaler_cls = StandardScaler if self.standardize else IdentityScaler
+        self.x_scaler_ = scaler_cls()
+        self.y_scaler_ = scaler_cls()
+        scaled_x = self.x_scaler_.fit_transform(x)
+        scaled_y = self.y_scaler_.fit_transform(y)
+        self.network_ = RBFNetwork(
+            n_centers=self.n_centers,
+            width=self.width,
+            ridge=self.ridge,
+            seed=self.seed,
+        ).fit(scaled_x, scaled_y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted network in physical units."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x = self._validate_x(x, self._n_inputs)
+        scaled = self.network_.predict(self.x_scaler_.transform(x))
+        return self.y_scaler_.inverse_transform(scaled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RBFWorkloadModel(n_centers={self.n_centers}, "
+            f"fitted={self.is_fitted})"
+        )

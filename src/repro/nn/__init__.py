@@ -1,0 +1,156 @@
+"""From-scratch neural-network library (NumPy only).
+
+Implements the machinery the paper relies on: perceptrons, multilayer
+perceptrons with logistic activations, gradient-descent back-propagation,
+error-threshold ("loose fit") stopping, plus the RBF and logarithmic-network
+relatives it cites.  See :mod:`repro.models.neural` for the workload-facing
+wrapper.
+"""
+
+from .activations import (
+    Activation,
+    HardLimiter,
+    Identity,
+    LeakyReLU,
+    Logistic,
+    ReLU,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+from .gradcheck import GradientCheckReport, check_gradients, numerical_gradient
+from .jacobian import finite_difference_jacobian, input_jacobian
+from .initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    Initializer,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    available_initializers,
+    get_initializer,
+)
+from .layers import Dense
+from .logarithmic import LogarithmicNetwork
+from .losses import (
+    Huber,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    Pinball,
+    available_losses,
+    get_loss,
+)
+from .mlp import MLP
+from .optimizers import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    ExponentialDecay,
+    LearningRateSchedule,
+    Momentum,
+    Nesterov,
+    Optimizer,
+    RMSProp,
+    StepDecay,
+    available_optimizers,
+    get_optimizer,
+)
+from .perceptron import (
+    AxisAlignedConfinement,
+    Perceptron,
+    and_perceptron,
+    confinement_network,
+    not_perceptron,
+    or_perceptron,
+)
+from .rbf import RBFNetwork, kmeans
+from .serialization import from_dict, load_mlp, save_mlp, to_dict
+from .training import (
+    EarlyStopping,
+    ErrorThreshold,
+    History,
+    MaxEpochs,
+    StoppingRule,
+    Trainer,
+    TrainingResult,
+)
+
+__all__ = [
+    # activations
+    "Activation",
+    "Logistic",
+    "Tanh",
+    "ReLU",
+    "LeakyReLU",
+    "Softplus",
+    "Identity",
+    "HardLimiter",
+    "get_activation",
+    "available_activations",
+    # initializers
+    "Initializer",
+    "Zeros",
+    "Constant",
+    "RandomUniform",
+    "RandomNormal",
+    "GlorotUniform",
+    "GlorotNormal",
+    "HeNormal",
+    "get_initializer",
+    "available_initializers",
+    # losses
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "Huber",
+    "Pinball",
+    "get_loss",
+    "available_losses",
+    # layers / networks
+    "Dense",
+    "MLP",
+    "Perceptron",
+    "AxisAlignedConfinement",
+    "and_perceptron",
+    "or_perceptron",
+    "not_perceptron",
+    "confinement_network",
+    "RBFNetwork",
+    "kmeans",
+    "LogarithmicNetwork",
+    # optimizers
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Nesterov",
+    "RMSProp",
+    "Adam",
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "get_optimizer",
+    "available_optimizers",
+    # training
+    "Trainer",
+    "TrainingResult",
+    "History",
+    "StoppingRule",
+    "ErrorThreshold",
+    "EarlyStopping",
+    "MaxEpochs",
+    # verification / persistence
+    "input_jacobian",
+    "finite_difference_jacobian",
+    "check_gradients",
+    "numerical_gradient",
+    "GradientCheckReport",
+    "save_mlp",
+    "load_mlp",
+    "to_dict",
+    "from_dict",
+]

@@ -1,0 +1,97 @@
+"""Finite-difference verification of back-propagation.
+
+Back-propagation is the one piece of this library where a silent sign or
+transpose bug would corrupt every downstream result, so we verify the
+analytic gradients of any flat-parameter model against central finite
+differences.  The test suite runs this over every activation/loss pairing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .losses import Loss, get_loss
+
+__all__ = ["GradientCheckReport", "numerical_gradient", "check_gradients"]
+
+
+@dataclass
+class GradientCheckReport:
+    """Outcome of a gradient check."""
+
+    max_abs_error: float
+    max_rel_error: float
+    n_params: int
+    passed: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"gradient check {status}: max_abs={self.max_abs_error:.3e} "
+            f"max_rel={self.max_rel_error:.3e} over {self.n_params} params"
+        )
+
+
+def numerical_gradient(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Union[str, Loss] = "mse",
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of the loss w.r.t. the flat parameters.
+
+    O(2 * n_params) forward passes — use small models and batches.
+    """
+    loss = get_loss(loss)
+    base = model.get_flat_params().copy()
+    grad = np.zeros_like(base)
+    for i in range(base.size):
+        bumped = base.copy()
+        bumped[i] = base[i] + epsilon
+        model.set_flat_params(bumped)
+        plus = loss.value(model.predict(x), y)
+        bumped[i] = base[i] - epsilon
+        model.set_flat_params(bumped)
+        minus = loss.value(model.predict(x), y)
+        grad[i] = (plus - minus) / (2.0 * epsilon)
+    model.set_flat_params(base)
+    return grad
+
+
+def check_gradients(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Union[str, Loss] = "mse",
+    epsilon: float = 1e-6,
+    tolerance: float = 1e-5,
+) -> GradientCheckReport:
+    """Compare analytic back-prop gradients to finite differences.
+
+    The relative error uses the symmetric normalization
+    ``|a - n| / max(|a| + |n|, 1e-8)`` so it is meaningful for both large
+    and vanishing gradients.  ``passed`` requires the max relative error to
+    stay below ``tolerance`` (absolute error below ``tolerance`` also counts,
+    covering parameters whose true gradient is ~0).
+    """
+    loss_obj = get_loss(loss)
+    predicted = model.forward(x, remember=True)
+    model.backward(loss_obj.gradient(predicted, y))
+    analytic = model.get_flat_grads().copy()
+    numeric = numerical_gradient(model, x, y, loss=loss_obj, epsilon=epsilon)
+
+    abs_err = np.abs(analytic - numeric)
+    denom = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+    rel_err = abs_err / denom
+    # A parameter passes if either error measure is small.
+    per_param_ok = (abs_err <= tolerance) | (rel_err <= tolerance)
+    return GradientCheckReport(
+        max_abs_error=float(abs_err.max()),
+        max_rel_error=float(rel_err.max()),
+        n_params=int(analytic.size),
+        passed=bool(per_param_ok.all()),
+    )

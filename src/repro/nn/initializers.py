@@ -1,0 +1,205 @@
+"""Weight initializers.
+
+Section 3.1 of the paper notes that "the weights and biases of the network are
+initialized with random values when the training process begins" and that a
+badly placed initial hyperplane can strand gradient descent in a local
+minimum.  The initializers here control that placement explicitly; Glorot
+(fan-average) scaling is the default used by :class:`repro.nn.mlp.MLP`
+because it keeps initial hyperplanes on the scale of standardized inputs.
+
+All initializers draw from a caller-supplied :class:`numpy.random.Generator`
+so that model construction is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "Zeros",
+    "Constant",
+    "RandomUniform",
+    "RandomNormal",
+    "GlorotUniform",
+    "GlorotNormal",
+    "HeNormal",
+    "get_initializer",
+    "register_initializer",
+    "available_initializers",
+]
+
+
+class Initializer:
+    """Base class: produce an array of the requested shape."""
+
+    name = "initializer"
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Return a float array of ``shape`` drawn from this scheme.
+
+        For weight matrices the convention is ``shape = (fan_in, fan_out)``.
+        """
+        raise NotImplementedError
+
+    def __call__(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        out = self.sample(shape, rng)
+        if out.shape != tuple(shape):
+            raise ValueError(
+                f"{type(self).__name__} produced shape {out.shape}, wanted {shape}"
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    def config(self) -> dict:
+        return {"name": self.name, **self.__dict__}
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in / fan-out for a weight shape; vectors count as pure fan-out."""
+    if len(shape) == 1:
+        return 1, shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    raise ValueError(f"initializers support 1-D or 2-D shapes, got {shape}")
+
+
+class Zeros(Initializer):
+    """All zeros — the conventional choice for biases."""
+
+    name = "zeros"
+
+    def sample(self, shape, rng):
+        return np.zeros(shape, dtype=float)
+
+
+class Constant(Initializer):
+    """Every element equal to ``value``."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def sample(self, shape, rng):
+        return np.full(shape, self.value, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constant(value={self.value})"
+
+
+class RandomUniform(Initializer):
+    """Uniform on ``[low, high)`` — the paper's generic "random values"."""
+
+    name = "random_uniform"
+
+    def __init__(self, low: float = -0.5, high: float = 0.5):
+        if not low < high:
+            raise ValueError(f"need low < high, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, shape, rng):
+        return rng.uniform(self.low, self.high, size=shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomUniform(low={self.low}, high={self.high})"
+
+
+class RandomNormal(Initializer):
+    """Gaussian with the given mean and standard deviation."""
+
+    name = "random_normal"
+
+    def __init__(self, mean: float = 0.0, stddev: float = 0.1):
+        if stddev <= 0:
+            raise ValueError(f"stddev must be positive, got {stddev}")
+        self.mean = float(mean)
+        self.stddev = float(stddev)
+
+    def sample(self, shape, rng):
+        return rng.normal(self.mean, self.stddev, size=shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomNormal(mean={self.mean}, stddev={self.stddev})"
+
+
+class GlorotUniform(Initializer):
+    """Uniform on ``±sqrt(6 / (fan_in + fan_out))`` (Glorot & Bengio)."""
+
+    name = "glorot_uniform"
+
+    def sample(self, shape, rng):
+        fan_in, fan_out = _fans(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class GlorotNormal(Initializer):
+    """Gaussian with variance ``2 / (fan_in + fan_out)``."""
+
+    name = "glorot_normal"
+
+    def sample(self, shape, rng):
+        fan_in, fan_out = _fans(shape)
+        stddev = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, stddev, size=shape)
+
+
+class HeNormal(Initializer):
+    """Gaussian with variance ``2 / fan_in``, suited to rectifier activations."""
+
+    name = "he_normal"
+
+    def sample(self, shape, rng):
+        fan_in, _ = _fans(shape)
+        return rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+_REGISTRY: Dict[str, Type[Initializer]] = {}
+
+
+def register_initializer(cls: Type[Initializer]) -> Type[Initializer]:
+    """Add an :class:`Initializer` subclass to the by-name registry."""
+    if not issubclass(cls, Initializer):
+        raise TypeError(f"{cls!r} is not an Initializer subclass")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (
+    Zeros,
+    Constant,
+    RandomUniform,
+    RandomNormal,
+    GlorotUniform,
+    GlorotNormal,
+    HeNormal,
+):
+    register_initializer(_cls)
+
+
+def available_initializers() -> list:
+    """Names accepted by :func:`get_initializer`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_initializer(spec: Union[str, Initializer, dict], **kwargs) -> Initializer:
+    """Resolve an initializer from a name, config dict, or instance."""
+    if isinstance(spec, Initializer):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with an Initializer instance")
+        return spec
+    if isinstance(spec, dict):
+        spec = dict(spec)
+        name = spec.pop("name")
+        return get_initializer(name, **{**spec, **kwargs})
+    if spec not in _REGISTRY:
+        raise KeyError(
+            f"unknown initializer {spec!r}; available: {available_initializers()}"
+        )
+    return _REGISTRY[spec](**kwargs)

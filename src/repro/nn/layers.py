@@ -1,0 +1,173 @@
+"""Fully-connected layers with explicit forward/backward passes.
+
+A :class:`Dense` layer is a bank of perceptrons (paper Figure 1): each output
+unit computes a weighted sum of the layer inputs minus a threshold and passes
+it through an activation function.  Following common practice we store the
+threshold as an additive *bias* ``b`` (so the paper's ``w0`` is ``-b``).
+
+The backward pass implements one step of the chain rule used by
+back-propagation (paper Section 2.2); gradients are accumulated into
+``grad_weights`` / ``grad_bias`` and the gradient with respect to the layer
+input is returned so preceding layers can continue the recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .activations import Activation, get_activation
+from .initializers import Initializer, get_initializer
+
+__all__ = ["Dense"]
+
+
+class Dense:
+    """A fully-connected layer: ``output = f(input @ W + b)``.
+
+    Parameters
+    ----------
+    in_features:
+        Dimension of the input vectors.
+    out_features:
+        Number of perceptrons in the layer.
+    activation:
+        Activation name/instance (default ``"logistic"``, the paper's choice).
+    weight_init, bias_init:
+        Initializer names/instances for ``W`` (shape ``(in, out)``) and ``b``
+        (shape ``(out,)``).
+    rng:
+        Random generator used to draw the initial parameters.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Union[str, Activation] = "logistic",
+        weight_init: Union[str, Initializer] = "glorot_uniform",
+        bias_init: Union[str, Initializer] = "zeros",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if in_features < 1:
+            raise ValueError(f"in_features must be >= 1, got {in_features}")
+        if out_features < 1:
+            raise ValueError(f"out_features must be >= 1, got {out_features}")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.activation = get_activation(activation)
+        self._weight_init = get_initializer(weight_init)
+        self._bias_init = get_initializer(bias_init)
+        if rng is None:
+            rng = np.random.default_rng()
+        self.weights = self._weight_init((self.in_features, self.out_features), rng)
+        self.bias = self._bias_init((self.out_features,), rng)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache_input: Optional[np.ndarray] = None
+        self._cache_pre: Optional[np.ndarray] = None
+        self._cache_out: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray, remember: bool = True) -> np.ndarray:
+        """Apply the layer to a batch of shape ``(n_samples, in_features)``.
+
+        When ``remember`` is true the input, pre-activation and output are
+        cached for the subsequent :meth:`backward` call; prediction-only
+        passes should pass ``remember=False`` to skip the bookkeeping.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (n, {self.in_features}), "
+                f"got {inputs.shape}"
+            )
+        pre = inputs @ self.weights + self.bias
+        out = self.activation.forward(pre)
+        if remember:
+            self._cache_input = inputs
+            self._cache_pre = pre
+            self._cache_out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/d(output)`` through the layer.
+
+        Stores ``dL/dW`` and ``dL/db`` on the layer and returns
+        ``dL/d(input)`` for the preceding layer.  Requires a prior
+        :meth:`forward` call with ``remember=True``.
+        """
+        if self._cache_input is None:
+            raise RuntimeError("backward() called before forward(remember=True)")
+        grad_output = np.asarray(grad_output, dtype=float)
+        if grad_output.shape != self._cache_out.shape:
+            raise ValueError(
+                f"grad_output shape {grad_output.shape} != "
+                f"forward output shape {self._cache_out.shape}"
+            )
+        grad_pre = grad_output * self.activation.derivative(
+            self._cache_pre, self._cache_out
+        )
+        self.grad_weights = self._cache_input.T @ grad_pre
+        self.grad_bias = grad_pre.sum(axis=0)
+        return grad_pre @ self.weights.T
+
+    # ------------------------------------------------------------------
+    # parameter plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def num_params(self) -> int:
+        """Total trainable scalars (weights plus biases)."""
+        return self.weights.size + self.bias.size
+
+    def parameters(self) -> list:
+        """The trainable arrays, weights first."""
+        return [self.weights, self.bias]
+
+    def gradients(self) -> list:
+        """Gradients in the same order as :meth:`parameters`."""
+        return [self.grad_weights, self.grad_bias]
+
+    def set_parameters(self, weights: np.ndarray, bias: np.ndarray) -> None:
+        """Replace both parameter arrays (shapes must match)."""
+        weights = np.asarray(weights, dtype=float)
+        bias = np.asarray(bias, dtype=float)
+        if weights.shape != self.weights.shape:
+            raise ValueError(
+                f"weights shape {weights.shape} != {self.weights.shape}"
+            )
+        if bias.shape != self.bias.shape:
+            raise ValueError(f"bias shape {bias.shape} != {self.bias.shape}")
+        self.weights = weights.copy()
+        self.bias = bias.copy()
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Re-draw the initial parameters (used by repeated CV trials)."""
+        self.weights = self._weight_init(
+            (self.in_features, self.out_features), rng
+        )
+        self.bias = self._bias_init((self.out_features,), rng)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache_input = self._cache_pre = self._cache_out = None
+
+    def config(self) -> dict:
+        """Serializable layer description (without parameter values)."""
+        return {
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "activation": self.activation.config(),
+            "weight_init": self._weight_init.config(),
+            "bias_init": self._bias_init.config(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dense({self.in_features} -> {self.out_features}, "
+            f"activation={self.activation!r})"
+        )

@@ -1,0 +1,117 @@
+"""Logarithmic network for unbounded extrapolation (paper ref [23]).
+
+Section 5.3 of the paper concedes that "neural network models cannot be used
+for extrapolation ... the prediction accuracy of MLPs drop rapidly outside
+the range of training data" and points to Hines's logarithmic neural network
+(ICNN 1996) as the proposed remedy.  This module implements a network in that
+spirit so the extrapolation bench can demonstrate both the failure and the
+fix.
+
+Design: inputs are shifted to be strictly positive and mapped through
+``log``; the hidden layer uses the *softplus* activation, which is smooth but
+asymptotically **linear** rather than saturating; the output is linear.  A
+function that is asymptotically a power law or logarithm in the original
+space is asymptotically linear in log space, so the network keeps producing
+sensible, unbounded predictions outside the training range — exactly the
+property the sigmoid MLP lacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .mlp import MLP
+from .optimizers import Optimizer, get_optimizer
+from .training import ErrorThreshold, Trainer
+
+__all__ = ["LogarithmicNetwork"]
+
+
+class LogarithmicNetwork:
+    """Log-feature MLP with non-saturating hidden units.
+
+    Parameters
+    ----------
+    n_inputs, n_outputs:
+        Dimensions of the mapping.
+    hidden:
+        Hidden-layer sizes (default one layer of 16).
+    include_linear_features:
+        Also feed the raw (shifted) inputs beside their logs, letting the
+        network mix additive and multiplicative structure.
+    seed:
+        Seed for parameter initialization.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        hidden: Sequence[int] = (16,),
+        include_linear_features: bool = True,
+        seed: Optional[int] = None,
+    ):
+        if n_inputs < 1 or n_outputs < 1:
+            raise ValueError("n_inputs and n_outputs must be >= 1")
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs)
+        self.include_linear_features = bool(include_linear_features)
+        n_features = n_inputs * (2 if include_linear_features else 1)
+        self.net = MLP(
+            [n_features, *hidden, n_outputs],
+            hidden_activation="softplus",
+            output_activation="identity",
+            seed=seed,
+        )
+        self._shift: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        if self._shift is None:
+            raise RuntimeError("features requested before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs per sample, got {x.shape[1]}"
+            )
+        shifted = np.maximum(x + self._shift, 1e-9)
+        logs = np.log(shifted)
+        if self.include_linear_features:
+            return np.column_stack([logs, shifted])
+        return logs
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        max_epochs: int = 2000,
+        error_threshold: Optional[float] = None,
+        optimizer: Union[str, Optimizer, None] = None,
+    ) -> "LogarithmicNetwork":
+        """Learn the shift from the data and train the underlying MLP."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        # Shift each input so the training minimum maps to 1 (log -> 0).
+        self._shift = 1.0 - x.min(axis=0)
+        if optimizer is None:
+            optimizer = get_optimizer("adam", learning_rate=0.01)
+        trainer = Trainer(self.net, optimizer=optimizer, seed=0)
+        stopping = (
+            [ErrorThreshold(error_threshold)]
+            if error_threshold is not None
+            else None
+        )
+        trainer.fit(self._features(x), y, max_epochs=max_epochs, stopping=stopping)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the network; valid well outside the training range."""
+        return self.net.predict(self._features(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogarithmicNetwork({self.n_inputs} -> {self.n_outputs}, "
+            f"net={self.net!r})"
+        )

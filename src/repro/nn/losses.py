@@ -1,0 +1,199 @@
+"""Loss functions for training.
+
+The paper trains its MLP "to minimize the error between the predicted value
+and the actual value, i.e. ||Y_hat - Y||" (Section 2.2) — squared-error
+minimization, implemented here as :class:`MeanSquaredError`.  Mean-absolute
+and Huber losses are provided for the robustness ablations.
+
+A loss exposes the mean scalar value over a batch and its gradient with
+respect to the predictions (shape-preserving, already divided by the batch
+size so per-sample gradients sum to the batch gradient).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "Huber",
+    "Pinball",
+    "get_loss",
+    "register_loss",
+    "available_losses",
+]
+
+
+def _as_batch(a: np.ndarray) -> np.ndarray:
+    """Coerce to a 2-D float array of shape (n_samples, n_outputs)."""
+    a = np.asarray(a, dtype=float)
+    if a.ndim == 1:
+        a = a.reshape(-1, 1)
+    if a.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D array, got shape {a.shape}")
+    return a
+
+
+class Loss:
+    """Base class for differentiable training objectives."""
+
+    name = "loss"
+
+    def value(self, predicted: np.ndarray, actual: np.ndarray) -> float:
+        """Mean loss over the batch (a scalar)."""
+        raise NotImplementedError
+
+    def gradient(self, predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+        """d(value)/d(predicted), same shape as ``predicted``."""
+        raise NotImplementedError
+
+    def _check(self, predicted: np.ndarray, actual: np.ndarray):
+        predicted = _as_batch(predicted)
+        actual = _as_batch(actual)
+        if predicted.shape != actual.shape:
+            raise ValueError(
+                f"prediction shape {predicted.shape} != target shape {actual.shape}"
+            )
+        return predicted, actual
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    def config(self) -> dict:
+        return {"name": self.name, **self.__dict__}
+
+
+class MeanSquaredError(Loss):
+    """``mean((predicted - actual)^2)`` over every element of the batch."""
+
+    name = "mse"
+
+    def value(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        diff = predicted - actual
+        return float(np.mean(diff * diff))
+
+    def gradient(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        return 2.0 * (predicted - actual) / predicted.size
+
+
+class MeanAbsoluteError(Loss):
+    """``mean(|predicted - actual|)``; robust to outlier samples."""
+
+    name = "mae"
+
+    def value(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        return float(np.mean(np.abs(predicted - actual)))
+
+    def gradient(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        return np.sign(predicted - actual) / predicted.size
+
+
+class Huber(Loss):
+    """Quadratic near zero, linear beyond ``delta`` — a compromise of the two."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def value(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        diff = predicted - actual
+        abs_diff = np.abs(diff)
+        quadratic = 0.5 * diff * diff
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear)))
+
+    def gradient(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        diff = predicted - actual
+        grad = np.clip(diff, -self.delta, self.delta)
+        return grad / predicted.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Huber(delta={self.delta})"
+
+
+class Pinball(Loss):
+    """Quantile (pinball) loss: minimizing it makes the network regress the
+    ``quantile``-th conditional quantile instead of the mean.
+
+    Response-time objectives are usually stated on tail quantiles (p90,
+    p99), not means; training the same MLP under this loss turns the
+    paper's mean model into an SLA model.  The loss is
+
+        q * (y - y_hat)       if y >= y_hat
+        (1 - q) * (y_hat - y)  otherwise
+    """
+
+    name = "pinball"
+
+    def __init__(self, quantile: float = 0.9):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1), got {quantile}")
+        self.quantile = float(quantile)
+
+    def value(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        diff = actual - predicted
+        return float(
+            np.mean(
+                np.where(
+                    diff >= 0, self.quantile * diff, (self.quantile - 1) * diff
+                )
+            )
+        )
+
+    def gradient(self, predicted, actual):
+        predicted, actual = self._check(predicted, actual)
+        diff = actual - predicted
+        grad = np.where(diff >= 0, -self.quantile, 1.0 - self.quantile)
+        return grad / predicted.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pinball(quantile={self.quantile})"
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {}
+
+
+def register_loss(cls: Type[Loss]) -> Type[Loss]:
+    """Add a :class:`Loss` subclass to the by-name registry."""
+    if not issubclass(cls, Loss):
+        raise TypeError(f"{cls!r} is not a Loss subclass")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (MeanSquaredError, MeanAbsoluteError, Huber, Pinball):
+    register_loss(_cls)
+
+
+def available_losses() -> list:
+    """Names accepted by :func:`get_loss`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_loss(spec: Union[str, Loss, dict], **kwargs) -> Loss:
+    """Resolve a loss from a name, config dict, or instance."""
+    if isinstance(spec, Loss):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with a Loss instance")
+        return spec
+    if isinstance(spec, dict):
+        spec = dict(spec)
+        name = spec.pop("name")
+        return get_loss(name, **{**spec, **kwargs})
+    if spec not in _REGISTRY:
+        raise KeyError(f"unknown loss {spec!r}; available: {available_losses()}")
+    return _REGISTRY[spec](**kwargs)

@@ -1,0 +1,248 @@
+"""The multilayer perceptron (paper Section 2.2, Figure 3).
+
+An :class:`MLP` maps an ``n``-dimensional configuration space to an
+``m``-dimensional performance-indicator space through one or more hidden
+layers of squashing perceptrons and a linear output layer (regression needs
+unbounded outputs, so the output activation defaults to identity).
+
+The class owns the layers and the pure network math — forward propagation,
+back-propagation of a loss gradient, and flat parameter-vector access for the
+optimizers and the gradient checker.  Training schedules live in
+:mod:`repro.nn.training`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .activations import Activation
+from .initializers import Initializer
+from .layers import Dense
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """A feed-forward network of :class:`~repro.nn.layers.Dense` layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_inputs, hidden_1, ..., hidden_k, n_outputs]``.  Following the
+        paper's terminology a network with two hidden layers is a "three
+        layer perceptron" because the input layer is not counted.
+    hidden_activation:
+        Activation for every hidden layer (default the paper's logistic).
+    output_activation:
+        Activation for the output layer (default identity for regression).
+    weight_init, bias_init:
+        Initializers applied to every layer.
+    seed:
+        Seed for the parameter-initialization generator; pass an integer for
+        reproducible networks.
+
+    Examples
+    --------
+    >>> net = MLP([4, 16, 16, 5], seed=0)
+    >>> net.n_inputs, net.n_outputs, net.n_hidden_layers
+    (4, 5, 2)
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        hidden_activation: Union[str, Activation] = "logistic",
+        output_activation: Union[str, Activation] = "identity",
+        weight_init: Union[str, Initializer] = "glorot_uniform",
+        bias_init: Union[str, Initializer] = "zeros",
+        seed: Optional[int] = None,
+    ):
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ValueError(
+                f"need at least input and output sizes, got {layer_sizes!r}"
+            )
+        if any(s < 1 for s in sizes):
+            raise ValueError(f"layer sizes must be positive, got {sizes}")
+        self.layer_sizes = sizes
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        self.layers: List[Dense] = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            is_output = index == len(sizes) - 2
+            activation = output_activation if is_output else hidden_activation
+            self.layers.append(
+                Dense(
+                    fan_in,
+                    fan_out,
+                    activation=activation,
+                    weight_init=weight_init,
+                    bias_init=bias_init,
+                    rng=rng,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # shape properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_inputs(self) -> int:
+        """Configuration-space dimension ``n``."""
+        return self.layer_sizes[0]
+
+    @property
+    def n_outputs(self) -> int:
+        """Performance-indicator dimension ``m``."""
+        return self.layer_sizes[-1]
+
+    @property
+    def n_hidden_layers(self) -> int:
+        """Number of hidden layers (layers minus the output layer)."""
+        return len(self.layers) - 1
+
+    @property
+    def num_params(self) -> int:
+        """Total trainable scalars across all layers."""
+        return sum(layer.num_params for layer in self.layers)
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray, remember: bool = True) -> np.ndarray:
+        """Propagate a batch through every layer.
+
+        ``inputs`` may be a single sample of shape ``(n_inputs,)`` or a batch
+        of shape ``(n_samples, n_inputs)``; the output always has the batch
+        shape ``(n_samples, n_outputs)``.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim == 1:
+            inputs = inputs.reshape(1, -1)
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out, remember=remember)
+        return out
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass without caching — use for inference."""
+        return self.forward(inputs, remember=False)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate a loss gradient through every layer.
+
+        Must follow a :meth:`forward` call with ``remember=True`` on the same
+        batch.  Layer gradients are left on each layer for the optimizer;
+        the return value is ``dL/d(inputs)``.
+        """
+        grad = np.asarray(grad_output, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # flat parameter access (optimizers, gradient checking, serialization)
+    # ------------------------------------------------------------------
+
+    def get_flat_params(self) -> np.ndarray:
+        """All parameters concatenated into one 1-D vector."""
+        chunks = []
+        for layer in self.layers:
+            for array in layer.parameters():
+                chunks.append(array.ravel())
+        return np.concatenate(chunks)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Inverse of :meth:`get_flat_params`."""
+        flat = np.asarray(flat, dtype=float).ravel()
+        if flat.size != self.num_params:
+            raise ValueError(
+                f"expected {self.num_params} parameters, got {flat.size}"
+            )
+        offset = 0
+        for layer in self.layers:
+            weights_size = layer.weights.size
+            bias_size = layer.bias.size
+            weights = flat[offset : offset + weights_size].reshape(
+                layer.weights.shape
+            )
+            offset += weights_size
+            bias = flat[offset : offset + bias_size].reshape(layer.bias.shape)
+            offset += bias_size
+            layer.set_parameters(weights, bias)
+
+    def get_flat_grads(self) -> np.ndarray:
+        """All layer gradients concatenated to match :meth:`get_flat_params`."""
+        chunks = []
+        for layer in self.layers:
+            for array in layer.gradients():
+                chunks.append(array.ravel())
+        return np.concatenate(chunks)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Re-initialize every layer's parameters.
+
+        The paper re-randomizes weights at the start of each training run;
+        cross-validation calls this between trials.
+        """
+        rng = np.random.default_rng(self._seed if seed is None else seed)
+        for layer in self.layers:
+            layer.reset(rng)
+
+    def copy(self) -> "MLP":
+        """An independent clone with identical structure and parameters."""
+        clone = MLP.from_config(self.config())
+        clone.set_flat_params(self.get_flat_params())
+        return clone
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def config(self) -> dict:
+        """Structure-only description; see :mod:`repro.nn.serialization`."""
+        first = self.layers[0]
+        last = self.layers[-1]
+        return {
+            "layer_sizes": list(self.layer_sizes),
+            "hidden_activation": (
+                first.activation.config()
+                if len(self.layers) > 1
+                else last.activation.config()
+            ),
+            "output_activation": last.activation.config(),
+            "weight_init": first._weight_init.config(),
+            "bias_init": first._bias_init.config(),
+            "seed": self._seed,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "MLP":
+        """Rebuild an MLP (fresh random parameters) from :meth:`config`."""
+        return cls(
+            config["layer_sizes"],
+            hidden_activation=_activation_from(config["hidden_activation"]),
+            output_activation=_activation_from(config["output_activation"]),
+            weight_init=_initializer_from(config["weight_init"]),
+            bias_init=_initializer_from(config["bias_init"]),
+            seed=config.get("seed"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        arch = " -> ".join(str(s) for s in self.layer_sizes)
+        return f"MLP({arch}, params={self.num_params})"
+
+
+def _activation_from(config: dict) -> Activation:
+    from .activations import get_activation
+
+    return get_activation(dict(config))
+
+
+def _initializer_from(config: dict) -> Initializer:
+    from .initializers import get_initializer
+
+    return get_initializer(dict(config))

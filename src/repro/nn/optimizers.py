@@ -1,0 +1,295 @@
+"""Gradient-descent optimizers and learning-rate schedules.
+
+The paper trains with "a gradient descent based back-propagation method"
+(Section 2.2).  :class:`SGD` is that method; :class:`Momentum`,
+:class:`Nesterov`, :class:`RMSProp` and :class:`Adam` are the standard
+refinements used by the optimizer-comparison ablation bench.
+
+An optimizer operates on a model's *flat* parameter vector: each
+:meth:`Optimizer.step` receives the current parameters and the gradient and
+returns the updated parameters.  Keeping optimizers stateless with respect to
+the model makes them trivially reusable across MLPs, RBF networks and the
+logarithmic network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Nesterov",
+    "RMSProp",
+    "Adam",
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "get_optimizer",
+    "register_optimizer",
+    "available_optimizers",
+]
+
+
+# ----------------------------------------------------------------------
+# learning-rate schedules
+# ----------------------------------------------------------------------
+
+
+class LearningRateSchedule:
+    """Maps a step counter to a learning rate."""
+
+    def rate(self, step: int) -> float:
+        """Learning rate to use at ``step`` (0-based)."""
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        return self.rate(step)
+
+
+class ConstantSchedule(LearningRateSchedule):
+    """The same rate forever."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, step: int) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantSchedule({self._rate})"
+
+
+class StepDecay(LearningRateSchedule):
+    """Multiply the rate by ``factor`` every ``every`` steps."""
+
+    def __init__(self, initial: float, factor: float = 0.5, every: int = 1000):
+        if initial <= 0:
+            raise ValueError(f"initial rate must be positive, got {initial}")
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must lie in (0, 1], got {factor}")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.initial = float(initial)
+        self.factor = float(factor)
+        self.every = int(every)
+
+    def rate(self, step: int) -> float:
+        return self.initial * self.factor ** (step // self.every)
+
+
+class ExponentialDecay(LearningRateSchedule):
+    """``initial * exp(-decay * step)``."""
+
+    def __init__(self, initial: float, decay: float = 1e-4):
+        if initial <= 0:
+            raise ValueError(f"initial rate must be positive, got {initial}")
+        if decay < 0:
+            raise ValueError(f"decay must be non-negative, got {decay}")
+        self.initial = float(initial)
+        self.decay = float(decay)
+
+    def rate(self, step: int) -> float:
+        return self.initial * float(np.exp(-self.decay * step))
+
+
+def _as_schedule(
+    rate: Union[float, LearningRateSchedule]
+) -> LearningRateSchedule:
+    if isinstance(rate, LearningRateSchedule):
+        return rate
+    return ConstantSchedule(float(rate))
+
+
+# ----------------------------------------------------------------------
+# optimizers
+# ----------------------------------------------------------------------
+
+
+class Optimizer:
+    """Base class: stateful update rule over a flat parameter vector."""
+
+    name = "optimizer"
+
+    def __init__(self, learning_rate: Union[float, LearningRateSchedule] = 0.01):
+        self.schedule = _as_schedule(learning_rate)
+        self.step_count = 0
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Return the updated parameter vector."""
+        params = np.asarray(params, dtype=float)
+        grads = np.asarray(grads, dtype=float)
+        if params.shape != grads.shape:
+            raise ValueError(
+                f"params shape {params.shape} != grads shape {grads.shape}"
+            )
+        rate = self.schedule(self.step_count)
+        updated = self._update(params, grads, rate)
+        self.step_count += 1
+        return updated
+
+    def _update(
+        self, params: np.ndarray, grads: np.ndarray, rate: float
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (momentum buffers etc.) and the step count."""
+        self.step_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(schedule={self.schedule!r})"
+
+
+class SGD(Optimizer):
+    """Plain gradient descent — the paper's training method."""
+
+    name = "sgd"
+
+    def _update(self, params, grads, rate):
+        return params - rate * grads
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum: velocity accumulates past gradients."""
+
+    name = "momentum"
+
+    def __init__(self, learning_rate=0.01, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Optional[np.ndarray] = None
+
+    def _update(self, params, grads, rate):
+        if self._velocity is None or self._velocity.shape != params.shape:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity - rate * grads
+        return params + self._velocity
+
+    def reset(self):
+        super().reset()
+        self._velocity = None
+
+
+class Nesterov(Momentum):
+    """Nesterov accelerated gradient (look-ahead momentum)."""
+
+    name = "nesterov"
+
+    def _update(self, params, grads, rate):
+        if self._velocity is None or self._velocity.shape != params.shape:
+            self._velocity = np.zeros_like(params)
+        previous = self._velocity
+        self._velocity = self.momentum * self._velocity - rate * grads
+        return params - self.momentum * previous + (1 + self.momentum) * self._velocity
+
+
+class RMSProp(Optimizer):
+    """Per-parameter rates scaled by a running mean of squared gradients."""
+
+    name = "rmsprop"
+
+    def __init__(self, learning_rate=0.001, decay: float = 0.9, epsilon: float = 1e-8):
+        super().__init__(learning_rate)
+        if not 0 <= decay < 1:
+            raise ValueError(f"decay must lie in [0, 1), got {decay}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._mean_square: Optional[np.ndarray] = None
+
+    def _update(self, params, grads, rate):
+        if self._mean_square is None or self._mean_square.shape != params.shape:
+            self._mean_square = np.zeros_like(params)
+        self._mean_square = (
+            self.decay * self._mean_square + (1 - self.decay) * grads * grads
+        )
+        return params - rate * grads / (np.sqrt(self._mean_square) + self.epsilon)
+
+    def reset(self):
+        super().reset()
+        self._mean_square = None
+
+
+class Adam(Optimizer):
+    """Adam: bias-corrected first and second gradient moments."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate=0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0 <= beta1 < 1:
+            raise ValueError(f"beta1 must lie in [0, 1), got {beta1}")
+        if not 0 <= beta2 < 1:
+            raise ValueError(f"beta2 must lie in [0, 1), got {beta2}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+
+    def _update(self, params, grads, rate):
+        if self._m is None or self._m.shape != params.shape:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+        t = self.step_count + 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grads
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grads * grads
+        m_hat = self._m / (1 - self.beta1**t)
+        v_hat = self._v / (1 - self.beta2**t)
+        return params - rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self):
+        super().reset()
+        self._m = None
+        self._v = None
+
+
+_REGISTRY: Dict[str, Type[Optimizer]] = {}
+
+
+def register_optimizer(cls: Type[Optimizer]) -> Type[Optimizer]:
+    """Add an :class:`Optimizer` subclass to the by-name registry."""
+    if not issubclass(cls, Optimizer):
+        raise TypeError(f"{cls!r} is not an Optimizer subclass")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (SGD, Momentum, Nesterov, RMSProp, Adam):
+    register_optimizer(_cls)
+
+
+def available_optimizers() -> list:
+    """Names accepted by :func:`get_optimizer`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_optimizer(spec: Union[str, Optimizer], **kwargs) -> Optimizer:
+    """Resolve an optimizer from a name or instance."""
+    if isinstance(spec, Optimizer):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with an Optimizer instance")
+        return spec
+    if spec not in _REGISTRY:
+        raise KeyError(
+            f"unknown optimizer {spec!r}; available: {available_optimizers()}"
+        )
+    return _REGISTRY[spec](**kwargs)

@@ -1,0 +1,210 @@
+"""Single perceptrons and the paper's hand-built geometric constructions.
+
+Section 2 of the paper explains MLP expressiveness constructively:
+
+* a perceptron forms a *hyperplane* bisecting the sample space (Figure 1);
+* a second hidden layer with all-one weights and threshold ``n - eps``
+  computes a logical **AND** of ``n`` first-layer half-spaces, carving a
+  *confinement*;
+* an output node with threshold ``0.5`` **OR**s confinements together, so
+  three layers can approximate any finite volume.
+
+This module implements the single perceptron exactly as drawn in Figure 1
+(weighted sum minus a threshold ``w0``) plus factory helpers for the AND/OR
+construction and the classic perceptron learning rule, all of which the test
+suite uses to validate the geometry the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .activations import Activation, HardLimiter, get_activation
+
+__all__ = [
+    "Perceptron",
+    "and_perceptron",
+    "or_perceptron",
+    "not_perceptron",
+    "confinement_network",
+]
+
+
+class Perceptron:
+    """A single neuron: ``y = f(sum_i w_i x_i - w0)`` (paper Figure 1).
+
+    Parameters
+    ----------
+    weights:
+        The input weights ``w_1 .. w_n``.
+    threshold:
+        The constant threshold/bias ``w0`` *subtracted* from the weighted sum,
+        matching the paper's sign convention.
+    activation:
+        Activation instance or name; defaults to the hard limiter so the
+        perceptron is a half-space indicator.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        threshold: float = 0.0,
+        activation: Optional[Activation] = None,
+    ):
+        self.weights = np.asarray(weights, dtype=float)
+        if self.weights.ndim != 1 or self.weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        self.threshold = float(threshold)
+        if activation is None:
+            activation = HardLimiter()
+        self.activation = get_activation(activation)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input signals this perceptron accepts."""
+        return self.weights.size
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        """The weighted sum minus threshold, before squashing."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs per sample, got {x.shape[1]}"
+            )
+        return x @ self.weights - self.threshold
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the perceptron on one sample or a batch of samples.
+
+        Returns a scalar array of shape ``(n_samples,)``.
+        """
+        return self.activation.forward(self.pre_activation(x))
+
+    __call__ = forward
+
+    def decision_distance(self, x: np.ndarray) -> np.ndarray:
+        """Signed Euclidean distance of each sample from the hyperplane.
+
+        Positive on the side the perceptron maps toward 1.  The weights
+        define the hyperplane's orientation and the threshold its offset from
+        the origin (paper Section 2.1).
+        """
+        norm = float(np.linalg.norm(self.weights))
+        if norm == 0.0:
+            raise ValueError("zero weight vector has no decision hyperplane")
+        return self.pre_activation(x) / norm
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        learning_rate: float = 1.0,
+        max_epochs: int = 100,
+    ) -> int:
+        """Rosenblatt perceptron learning on binary targets in {0, 1}.
+
+        Returns the number of epochs run; converges iff the data are linearly
+        separable.  Only valid with the hard-limiter activation.
+        """
+        if not isinstance(self.activation, HardLimiter):
+            raise ValueError("perceptron learning requires the hard limiter")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError(f"{x.shape[0]} samples but {y.size} targets")
+        if not set(np.unique(y)) <= {0.0, 1.0}:
+            raise ValueError("targets must be 0/1")
+        for epoch in range(1, max_epochs + 1):
+            errors = 0
+            for sample, target in zip(x, y):
+                predicted = float(self.forward(sample)[0])
+                if predicted != target:
+                    update = learning_rate * (target - predicted)
+                    self.weights = self.weights + update * sample
+                    self.threshold -= update
+                    errors += 1
+            if errors == 0:
+                return epoch
+        return max_epochs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Perceptron(weights={self.weights.tolist()}, "
+            f"threshold={self.threshold}, activation={self.activation!r})"
+        )
+
+
+def and_perceptron(n_inputs: int, margin: float = 0.5) -> Perceptron:
+    """The paper's AND construction: all weights 1, threshold ``n - margin``.
+
+    With ``0 < margin < 1`` the output is 1 only when *all* ``n`` binary
+    inputs are 1 (paper Section 2.2).
+    """
+    if not 0.0 < margin < 1.0:
+        raise ValueError(f"margin must lie in (0, 1), got {margin}")
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    return Perceptron(np.ones(n_inputs), threshold=n_inputs - margin)
+
+
+def or_perceptron(n_inputs: int, threshold: float = 0.5) -> Perceptron:
+    """The paper's OR construction: all weights 1, threshold 0.5."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    return Perceptron(np.ones(n_inputs), threshold=threshold)
+
+
+def not_perceptron() -> Perceptron:
+    """Single-input negation: weight -1, threshold -0.5."""
+    return Perceptron([-1.0], threshold=-0.5)
+
+
+def confinement_network(
+    lower: Sequence[float], upper: Sequence[float]
+) -> "AxisAlignedConfinement":
+    """Build the 3-layer box indicator the paper uses to argue universality.
+
+    ``2n`` first-layer perceptrons cut the space along each axis (one ``>=
+    lower_i``, one ``<= upper_i``); an AND node in the second layer confines
+    to the box.  The returned object is callable on points and returns 1
+    inside the closed box, 0 outside.
+    """
+    return AxisAlignedConfinement(lower, upper)
+
+
+class AxisAlignedConfinement:
+    """Indicator of an axis-aligned box built purely from perceptrons."""
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]):
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower/upper must be 1-D and the same length")
+        if np.any(lower > upper):
+            raise ValueError("each lower bound must be <= its upper bound")
+        self.lower = lower
+        self.upper = upper
+        n = lower.size
+        self.half_spaces = []
+        for axis in range(n):
+            direction = np.zeros(n)
+            direction[axis] = 1.0
+            # x_axis >= lower  <=>  +x_axis - lower >= 0
+            self.half_spaces.append(Perceptron(direction, threshold=lower[axis]))
+            # x_axis <= upper  <=>  -x_axis + upper >= 0
+            self.half_spaces.append(Perceptron(-direction, threshold=-upper[axis]))
+        self.and_node = and_perceptron(2 * n)
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the confined space."""
+        return self.lower.size
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        first_layer = np.column_stack([p(x) for p in self.half_spaces])
+        return self.and_node(first_layer)

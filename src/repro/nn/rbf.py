@@ -1,0 +1,152 @@
+"""Radial Basis Function networks.
+
+Section 2.1 of the paper names RBF networks alongside MLPs as the standard
+neural architectures for function approximation; we implement them both so
+the model-comparison bench can contrast the families.
+
+An :class:`RBFNetwork` places Gaussian kernels at centers chosen by a small
+from-scratch k-means, then solves the linear readout by (optionally ridge-
+regularized) least squares — the classical two-stage training scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["kmeans", "RBFNetwork"]
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iters: int = 100,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """Lloyd's algorithm; returns the ``(k, n_features)`` centers.
+
+    Centers are seeded from distinct data points.  Clusters that empty out
+    are re-seeded on the point farthest from its assigned center, which keeps
+    ``k`` effective centers even on degenerate data.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    n = x.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise ValueError(f"k={k} exceeds the number of samples ({n})")
+    centers = x[rng.choice(n, size=k, replace=False)].copy()
+    for _ in range(max_iters):
+        distances = np.linalg.norm(x[:, None, :] - centers[None, :, :], axis=2)
+        assignment = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = x[assignment == j]
+            if members.size:
+                new_centers[j] = members.mean(axis=0)
+            else:
+                farthest = distances[np.arange(n), assignment].argmax()
+                new_centers[j] = x[farthest]
+        shift = float(np.linalg.norm(new_centers - centers))
+        centers = new_centers
+        if shift < tolerance:
+            break
+    return centers
+
+
+class RBFNetwork:
+    """Gaussian-kernel network with a linear least-squares readout.
+
+    Parameters
+    ----------
+    n_centers:
+        Number of Gaussian kernels (capped at the sample count during fit).
+    width:
+        Kernel width (standard deviation).  ``None`` uses the mean pairwise
+        distance between centers — the usual heuristic.
+    ridge:
+        L2 regularization on the readout weights; 0 gives plain least squares.
+    seed:
+        Seed for the k-means center initialization.
+    """
+
+    def __init__(
+        self,
+        n_centers: int = 10,
+        width: Optional[float] = None,
+        ridge: float = 1e-8,
+        seed: Optional[int] = None,
+    ):
+        if n_centers < 1:
+            raise ValueError(f"n_centers must be >= 1, got {n_centers}")
+        if width is not None and width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.n_centers = int(n_centers)
+        self.width = width
+        self.ridge = float(ridge)
+        self._seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.width_: Optional[float] = None
+        self.readout_: Optional[np.ndarray] = None  # (k + 1, m) incl. bias
+
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RBFNetwork":
+        """Place centers on ``x`` and solve the readout to ``y``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        rng = np.random.default_rng(self._seed)
+        k = min(self.n_centers, x.shape[0])
+        self.centers_ = kmeans(x, k, rng)
+        self.width_ = self.width or self._default_width(self.centers_)
+        design = self._design_matrix(x)
+        if self.ridge:
+            gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+            self.readout_ = np.linalg.solve(gram, design.T @ y)
+        else:
+            self.readout_, *_ = np.linalg.lstsq(design, y, rcond=None)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted network; shape ``(n_samples, n_outputs)``."""
+        if self.readout_ is None:
+            raise RuntimeError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return self._design_matrix(x) @ self.readout_
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _default_width(centers: np.ndarray) -> float:
+        if centers.shape[0] < 2:
+            return 1.0
+        diffs = centers[:, None, :] - centers[None, :, :]
+        distances = np.linalg.norm(diffs, axis=2)
+        off_diagonal = distances[~np.eye(centers.shape[0], dtype=bool)]
+        mean = float(off_diagonal.mean())
+        return mean if mean > 0 else 1.0
+
+    def _design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Gaussian activations of every center plus a constant column."""
+        distances = np.linalg.norm(
+            x[:, None, :] - self.centers_[None, :, :], axis=2
+        )
+        activations = np.exp(-0.5 * (distances / self.width_) ** 2)
+        return np.column_stack([activations, np.ones(x.shape[0])])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fitted = self.readout_ is not None
+        return (
+            f"RBFNetwork(n_centers={self.n_centers}, width={self.width}, "
+            f"ridge={self.ridge}, fitted={fitted})"
+        )

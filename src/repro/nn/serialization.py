@@ -1,0 +1,63 @@
+"""Saving and loading trained networks.
+
+The paper notes that "learned knowledge is kept in MLPs by memorizing their
+weights and biases" (Section 2.2); this module persists exactly that — the
+structural config plus the flat parameter vector — as a single JSON document,
+so a characterized workload model can be shipped to performance engineers
+without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .mlp import MLP
+
+__all__ = ["to_dict", "from_dict", "save_mlp", "load_mlp", "FORMAT_VERSION"]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def to_dict(model: MLP) -> dict:
+    """Serialize an MLP (structure + parameters) to plain JSON-able types."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "mlp",
+        "config": model.config(),
+        "parameters": model.get_flat_params().tolist(),
+    }
+
+
+def from_dict(payload: dict) -> MLP:
+    """Inverse of :func:`to_dict`."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected dict, got {type(payload).__name__}")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format_version {version!r} (expected {FORMAT_VERSION})"
+        )
+    if payload.get("kind") != "mlp":
+        raise ValueError(f"unsupported kind {payload.get('kind')!r}")
+    model = MLP.from_config(payload["config"])
+    params = np.asarray(payload["parameters"], dtype=float)
+    model.set_flat_params(params)
+    return model
+
+
+def save_mlp(model: MLP, path: Union[str, Path]) -> Path:
+    """Write the model to ``path`` as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(to_dict(model)))
+    return path
+
+
+def load_mlp(path: Union[str, Path]) -> MLP:
+    """Read a model previously written by :func:`save_mlp`."""
+    payload = json.loads(Path(path).read_text())
+    return from_dict(payload)

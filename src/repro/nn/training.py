@@ -1,0 +1,331 @@
+"""Training loop, stopping rules and callbacks.
+
+Paper hooks implemented here:
+
+* Section 2.2 — "this process is repeated over all the training samples until
+  a desired error threshold is met": :class:`ErrorThreshold` stops training
+  when the epoch's training loss drops below a target.
+* Section 3.3 — "it is better to loosely fit to the training sample to
+  maintain the flexibility of a model. A threshold value is needed to
+  indicate when to stop training": the same mechanism, with the threshold
+  chosen deliberately loose; :class:`EarlyStopping` additionally supports the
+  modern patience-on-validation variant for the ablation benches.
+
+The :class:`Trainer` runs epochs of (optionally mini-batched) gradient
+descent on any model exposing the flat-parameter protocol of
+:class:`repro.nn.mlp.MLP` and records a :class:`History` of losses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .losses import Loss, get_loss
+from .optimizers import Optimizer, get_optimizer
+
+__all__ = [
+    "History",
+    "StoppingRule",
+    "ErrorThreshold",
+    "EarlyStopping",
+    "MaxEpochs",
+    "Trainer",
+    "TrainingResult",
+]
+
+
+@dataclass
+class History:
+    """Per-epoch record of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    @property
+    def final_train_loss(self) -> float:
+        """Training loss after the last epoch (NaN if never trained)."""
+        return self.train_loss[-1] if self.train_loss else math.nan
+
+    @property
+    def final_validation_loss(self) -> float:
+        """Validation loss after the last epoch (NaN if not tracked)."""
+        return self.validation_loss[-1] if self.validation_loss else math.nan
+
+    @property
+    def best_validation_epoch(self) -> Optional[int]:
+        """0-based epoch with the lowest validation loss, if tracked."""
+        if not self.validation_loss:
+            return None
+        return int(np.argmin(self.validation_loss))
+
+
+@dataclass
+class TrainingResult:
+    """What :meth:`Trainer.fit` returns."""
+
+    history: History
+    stopped_by: str
+    epochs_run: int
+
+
+class StoppingRule:
+    """Decides after each epoch whether training should stop."""
+
+    name = "stopping_rule"
+
+    def begin(self) -> None:
+        """Reset internal state at the start of a run."""
+
+    def should_stop(self, history: History) -> bool:
+        """Called after each epoch with the run-so-far history."""
+        raise NotImplementedError
+
+
+class MaxEpochs(StoppingRule):
+    """Stop after a fixed number of epochs (always active as a backstop)."""
+
+    name = "max_epochs"
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+
+    def should_stop(self, history: History) -> bool:
+        return history.epochs >= self.limit
+
+
+class ErrorThreshold(StoppingRule):
+    """The paper's stopping rule: stop once training loss <= threshold.
+
+    A *loose* (large) threshold under-fits on purpose, preserving model
+    flexibility for unseen configurations (paper Section 3.3 and the visible
+    slack in Figure 5).
+    """
+
+    name = "error_threshold"
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.threshold = float(threshold)
+
+    def should_stop(self, history: History) -> bool:
+        return bool(history.train_loss) and history.final_train_loss <= self.threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ErrorThreshold({self.threshold})"
+
+
+class EarlyStopping(StoppingRule):
+    """Patience-based stopping on validation loss.
+
+    Stops when the validation loss has not improved by at least ``min_delta``
+    for ``patience`` consecutive epochs.  Requires validation data to be
+    passed to :meth:`Trainer.fit`.
+    """
+
+    name = "early_stopping"
+
+    def __init__(self, patience: int = 20, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be non-negative, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self._best = math.inf
+        self._stale = 0
+
+    def begin(self) -> None:
+        self._best = math.inf
+        self._stale = 0
+
+    def should_stop(self, history: History) -> bool:
+        if not history.validation_loss:
+            raise RuntimeError(
+                "EarlyStopping requires validation data; pass validation_data "
+                "to Trainer.fit"
+            )
+        current = history.final_validation_loss
+        if current < self._best - self.min_delta:
+            self._best = current
+            self._stale = 0
+        else:
+            self._stale += 1
+        return self._stale >= self.patience
+
+
+#: Signature of an epoch-end callback: (epoch index, history) -> None.
+EpochCallback = Callable[[int, History], None]
+
+
+class Trainer:
+    """Epoch-driven gradient-descent training for flat-parameter models.
+
+    Parameters
+    ----------
+    model:
+        Any object with ``forward(x, remember=True)``, ``backward(grad)``,
+        ``get_flat_params()``, ``set_flat_params()`` and
+        ``get_flat_grads()`` — i.e. :class:`~repro.nn.mlp.MLP` and friends.
+    loss:
+        Loss name/instance (default MSE, the paper's objective).
+    optimizer:
+        Optimizer name/instance (default plain SGD with rate 0.05).
+    batch_size:
+        Samples per gradient step; ``None`` means full-batch descent.
+    l2:
+        Optional weight-decay coefficient added to the gradient
+        (``l2 * params``), a standard overfitting guard.
+    shuffle:
+        Shuffle sample order each epoch (mini-batch mode only).
+    seed:
+        Seed for the shuffling generator.
+    """
+
+    def __init__(
+        self,
+        model,
+        loss: Union[str, Loss] = "mse",
+        optimizer: Union[str, Optimizer] = None,
+        batch_size: Optional[int] = None,
+        l2: float = 0.0,
+        shuffle: bool = True,
+        seed: Optional[int] = None,
+    ):
+        self.model = model
+        self.loss = get_loss(loss)
+        if optimizer is None:
+            optimizer = get_optimizer("sgd", learning_rate=0.05)
+        self.optimizer = get_optimizer(optimizer)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        if l2 < 0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.l2 = float(l2)
+        self.shuffle = bool(shuffle)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        max_epochs: int = 1000,
+        stopping: Optional[Union[StoppingRule, Sequence[StoppingRule]]] = None,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        callbacks: Optional[Sequence[EpochCallback]] = None,
+    ) -> TrainingResult:
+        """Train until a stopping rule fires or ``max_epochs`` elapse.
+
+        Returns a :class:`TrainingResult` naming the rule that ended the run
+        (``"max_epochs"`` when none fired earlier).
+        """
+        x, y = self._validate_data(x, y)
+        if validation_data is not None:
+            x_val, y_val = self._validate_data(*validation_data)
+        rules = self._normalize_rules(stopping, max_epochs)
+        for rule in rules:
+            rule.begin()
+        self.optimizer.reset()
+        history = History()
+        stopped_by = "max_epochs"
+        callbacks = list(callbacks or [])
+
+        for epoch in range(max_epochs):
+            epoch_loss = self._run_epoch(x, y)
+            history.train_loss.append(epoch_loss)
+            history.learning_rate.append(
+                self.optimizer.schedule(max(self.optimizer.step_count - 1, 0))
+            )
+            if validation_data is not None:
+                predicted = self.model.predict(x_val)
+                history.validation_loss.append(self.loss.value(predicted, y_val))
+            for callback in callbacks:
+                callback(epoch, history)
+            fired = next(
+                (rule for rule in rules if rule.should_stop(history)), None
+            )
+            if fired is not None:
+                stopped_by = fired.name
+                break
+
+        return TrainingResult(
+            history=history, stopped_by=stopped_by, epochs_run=history.epochs
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_epoch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One pass over the data; returns the post-update full-data loss."""
+        n = x.shape[0]
+        if self.batch_size is None or self.batch_size >= n:
+            batches = [(x, y)]
+        else:
+            order = np.arange(n)
+            if self.shuffle:
+                self._rng.shuffle(order)
+            batches = [
+                (x[order[i : i + self.batch_size]], y[order[i : i + self.batch_size]])
+                for i in range(0, n, self.batch_size)
+            ]
+        for batch_x, batch_y in batches:
+            predicted = self.model.forward(batch_x, remember=True)
+            grad = self.loss.gradient(predicted, batch_y)
+            self.model.backward(grad)
+            params = self.model.get_flat_params()
+            grads = self.model.get_flat_grads()
+            if self.l2:
+                grads = grads + self.l2 * params
+            self.model.set_flat_params(self.optimizer.step(params, grads))
+        return self.evaluate(x, y)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss of the current model on ``(x, y)``."""
+        x, y = self._validate_data(x, y)
+        return self.loss.value(self.model.predict(x), y)
+
+    def _validate_data(self, x, y) -> Tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        if x.ndim != 2 or y.ndim != 2:
+            raise ValueError(
+                f"x and y must be 1-D or 2-D, got {x.shape} and {y.shape}"
+            )
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("cannot train on an empty sample set")
+        return x, y
+
+    @staticmethod
+    def _normalize_rules(stopping, max_epochs: int) -> List[StoppingRule]:
+        if stopping is None:
+            rules: List[StoppingRule] = []
+        elif isinstance(stopping, StoppingRule):
+            rules = [stopping]
+        else:
+            rules = list(stopping)
+        for rule in rules:
+            if not isinstance(rule, StoppingRule):
+                raise TypeError(f"{rule!r} is not a StoppingRule")
+        return rules

@@ -1,0 +1,74 @@
+"""Composable preprocessing around a fit/predict estimator.
+
+A :class:`ScaledEstimator` bundles the paper's full recipe: standardize the
+configuration parameters, (optionally) standardize the performance
+indicators, train the inner model in scaled space, and automatically invert
+the output scaling at prediction time so callers always see physical units.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .scalers import Scaler, get_scaler
+
+__all__ = ["ScaledEstimator"]
+
+
+class ScaledEstimator:
+    """Wrap any fit/predict estimator with input/output scalers.
+
+    Parameters
+    ----------
+    estimator:
+        Object with ``fit(x, y, **fit_kwargs)`` and ``predict(x)``.
+    x_scaler, y_scaler:
+        Scaler names/instances (``None`` for identity).  Fresh statistics are
+        learned on every :meth:`fit` call.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        x_scaler: Union[str, Scaler, None] = "standard",
+        y_scaler: Union[str, Scaler, None] = "standard",
+    ):
+        self.estimator = estimator
+        self.x_scaler = get_scaler(x_scaler)
+        self.y_scaler = get_scaler(y_scaler)
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed at least once."""
+        return self._fitted
+
+    def fit(self, x: np.ndarray, y: np.ndarray, **fit_kwargs):
+        """Fit scalers on the data, then the estimator in scaled space.
+
+        Returns whatever the inner estimator's ``fit`` returns (training
+        results for a :class:`~repro.nn.training.Trainer`-style estimator).
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        scaled_x = self.x_scaler.fit_transform(x)
+        scaled_y = self.y_scaler.fit_transform(y)
+        result = self.estimator.fit(scaled_x, scaled_y, **fit_kwargs)
+        self._fitted = True
+        return result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict in physical units (output scaling inverted)."""
+        if not self._fitted:
+            raise RuntimeError("predict() called before fit()")
+        scaled_x = self.x_scaler.transform(np.asarray(x, dtype=float))
+        scaled_y = self.estimator.predict(scaled_x)
+        return self.y_scaler.inverse_transform(np.asarray(scaled_y, dtype=float))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScaledEstimator({self.estimator!r}, x_scaler={self.x_scaler!r}, "
+            f"y_scaler={self.y_scaler!r})"
+        )

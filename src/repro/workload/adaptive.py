@@ -1,0 +1,185 @@
+"""Adaptive (uncertainty-guided) sample collection.
+
+The paper's economics again: measured configurations are the expensive
+resource.  Space-filling designs spend them uniformly; this module spends
+them where the model is *unsure*.  Each round fits an ensemble to the
+samples so far, scores a candidate pool by ensemble disagreement, simulates
+the most-disputed candidates, and repeats — active learning on top of the
+paper's own machinery, converging on the cliffs and knees that dominate the
+prediction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..models.ensemble import NeuralEnsemble
+from .dataset import Dataset
+from .sampler import ConfigSpace, SampleCollector, latin_hypercube, random_design
+from .service import WorkloadConfig
+
+__all__ = ["AdaptiveRound", "AdaptiveResult", "AdaptiveSampler"]
+
+
+@dataclass(frozen=True)
+class AdaptiveRound:
+    """Bookkeeping for one acquisition round."""
+
+    round_index: int
+    n_samples_after: int
+    mean_candidate_spread: float
+    picked: List[WorkloadConfig]
+
+
+@dataclass
+class AdaptiveResult:
+    """The collected dataset plus per-round telemetry."""
+
+    dataset: Dataset
+    rounds: List[AdaptiveRound] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Round-by-round disagreement trace."""
+        lines = ["round  samples  mean candidate spread"]
+        for r in self.rounds:
+            lines.append(
+                f"{r.round_index:5d}  {r.n_samples_after:7d} "
+                f"{100 * r.mean_candidate_spread:18.2f}%"
+            )
+        return "\n".join(lines)
+
+
+class AdaptiveSampler:
+    """Uncertainty-guided sampling loop.
+
+    Parameters
+    ----------
+    backend:
+        Anything :class:`~repro.workload.sampler.SampleCollector` accepts
+        (the simulator or the analytic surrogate).
+    space:
+        The configuration region to explore.
+    ensemble_factory:
+        Builds a fresh unfitted :class:`~repro.models.ensemble.NeuralEnsemble`
+        per round; a fast 3-member default if omitted.
+    n_initial:
+        Latin-hypercube samples collected before the loop starts.
+    batch_size:
+        Configurations acquired per round.
+    n_candidates:
+        Random candidate pool scored per round.
+    diversity:
+        Minimum normalized distance between an acquired candidate and every
+        already-measured configuration.  Pure uncertainty-chasing resamples
+        the same cliff corner; the distance floor forces each batch to keep
+        covering the space while still favouring disputed regions.
+    seed:
+        Design/candidate randomness.
+    """
+
+    def __init__(
+        self,
+        backend,
+        space: ConfigSpace,
+        ensemble_factory: Optional[Callable[[], NeuralEnsemble]] = None,
+        n_initial: int = 12,
+        batch_size: int = 4,
+        n_candidates: int = 200,
+        diversity: float = 0.12,
+        seed: int = 0,
+    ):
+        if n_initial < 4:
+            raise ValueError(f"n_initial must be >= 4, got {n_initial}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if n_candidates < batch_size:
+            raise ValueError(
+                f"n_candidates {n_candidates} < batch_size {batch_size}"
+            )
+        self.collector = SampleCollector(backend)
+        self.space = space
+        self.ensemble_factory = ensemble_factory or (
+            lambda: NeuralEnsemble(
+                n_members=3,
+                seed=seed,
+                hidden=(12,),
+                error_threshold=0.01,
+                max_epochs=3000,
+            )
+        )
+        if diversity < 0:
+            raise ValueError(f"diversity must be non-negative, got {diversity}")
+        self.n_initial = int(n_initial)
+        self.batch_size = int(batch_size)
+        self.n_candidates = int(n_candidates)
+        self.diversity = float(diversity)
+        self.seed = int(seed)
+
+    def collect(self, budget: int) -> AdaptiveResult:
+        """Spend ``budget`` total simulations: initial design + rounds."""
+        if budget < self.n_initial + self.batch_size:
+            raise ValueError(
+                f"budget {budget} below n_initial + one batch "
+                f"({self.n_initial + self.batch_size})"
+            )
+        configs = latin_hypercube(self.space, self.n_initial, seed=self.seed)
+        dataset = self.collector.collect(configs)
+        result = AdaptiveResult(dataset=dataset)
+
+        round_index = 0
+        while len(result.dataset) + self.batch_size <= budget:
+            round_index += 1
+            ensemble = self.ensemble_factory()
+            targets = np.log(np.maximum(result.dataset.y, 1e-6))
+            ensemble.fit(result.dataset.x, targets)
+
+            candidates = random_design(
+                self.space,
+                self.n_candidates,
+                seed=self.seed + 1000 * round_index,
+            )
+            matrix = np.vstack([c.as_vector() for c in candidates])
+            prediction = ensemble.predict_with_uncertainty(matrix)
+            spread = prediction.relative_spread.max(axis=1)
+            order = np.argsort(-spread)
+            picked = self._pick_diverse(
+                [candidates[int(i)] for i in order], result.dataset
+            )
+            if not picked:
+                break
+            acquired = self.collector.collect(picked)
+            result.dataset = result.dataset.concat(acquired)
+            result.rounds.append(
+                AdaptiveRound(
+                    round_index=round_index,
+                    n_samples_after=len(result.dataset),
+                    mean_candidate_spread=float(spread.mean()),
+                    picked=picked,
+                )
+            )
+        return result
+
+    def _pick_diverse(
+        self, ranked: List[WorkloadConfig], dataset: Dataset
+    ) -> List[WorkloadConfig]:
+        """Greedy max-spread picks subject to the diversity floor."""
+        spans = np.array(
+            [max(r.high - r.low, 1e-12) for r in self.space.ranges]
+        )
+        kept_points = [row / spans for row in dataset.x]
+        picked: List[WorkloadConfig] = []
+        for config in ranked:
+            if len(picked) >= self.batch_size:
+                break
+            point = config.as_vector() / spans
+            distance = min(
+                (float(np.linalg.norm(point - other)) for other in kept_points),
+                default=np.inf,
+            )
+            if distance >= self.diversity:
+                picked.append(config)
+                kept_points.append(point)
+        return picked

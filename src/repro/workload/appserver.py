@@ -1,0 +1,238 @@
+"""The middle-tier application server.
+
+This is the component the paper tunes: "Inside the application server,
+different thread counts can be assigned to three different queues modeling
+the work flow including an mfg queue that models the manufacturing domain, a
+web queue for modeling the web front end, and a default queue which handles
+the rest" (Section 4).
+
+An :class:`AppServer` owns the three thread pools, the shared multicore CPU,
+the inventory lock and a reference to the database tier, and exposes
+:meth:`handle` — the generator flow one transaction follows through the
+server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+import numpy as np
+
+from .cpu import Execute, MultiCoreCpu
+from .database import Database
+from .des import Delay, Effect, Simulator
+from .resources import Acquire, Release, Resource
+from .transactions import (
+    DEFAULT_QUEUE,
+    MFG_QUEUE,
+    WEB_QUEUE,
+    Transaction,
+)
+
+__all__ = ["MachineSpec", "AppServer"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware model of the middle-tier machine.
+
+    The defaults mirror the paper's Table 1 testbed — 4 Intel Xeon dual-core
+    3.4 GHz processors (8 cores; we fold Hyper-Threading into per-core
+    throughput rather than doubling the core count), 1 MB L2 per core,
+    16 GB RAM.  Cache and memory sizes are documentation; what the simulator
+    consumes are the scheduling parameters.
+    """
+
+    cores: int = 8
+    #: Round-robin quantum (seconds).
+    quantum: float = 0.020
+    #: Base context-switch cost per dispatch (seconds).
+    switch_cost: float = 0.0003
+    #: Extra switch cost per runnable thread beyond the core count.
+    pollution_factor: float = 0.4
+    #: Saturation bound on the excess-runnable pollution term.
+    excess_cap: int = 10
+    #: Documented, not simulated.
+    l2_cache_mb_per_core: float = 1.0
+    memory_gb: float = 16.0
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {self.quantum}")
+        if self.switch_cost < 0:
+            raise ValueError(
+                f"switch_cost must be non-negative, got {self.switch_cost}"
+            )
+        if self.pollution_factor < 0:
+            raise ValueError(
+                f"pollution_factor must be non-negative, got {self.pollution_factor}"
+            )
+        if self.excess_cap < 0:
+            raise ValueError(
+                f"excess_cap must be non-negative, got {self.excess_cap}"
+            )
+
+
+class AppServer:
+    """Three work queues sharing one multicore CPU.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    database:
+        The backend tier used for synchronous calls.
+    mfg_threads, web_threads, default_threads:
+        The configured thread counts — the paper's first three input
+        parameters.  A configured value of 0 is clamped to one thread (the
+        server never runs a queue with no worker; the paper's sweeps start
+        at 0 with the same semantics).
+    machine:
+        Hardware model; defaults to the Table 1 testbed.
+    rng:
+        Random stream for service-time draws.
+    mfg_database:
+        Optional dedicated database partition for the manufacturing domain
+        (defaults to the shared one).  SPECjAppServer-style workloads
+        partition the manufacturing schema away from the dealer/order
+        schema, which insulates manufacturing latency from dealer-side and
+        background database pressure.
+    request_timeout:
+        Driver patience: a request still waiting for a work-queue thread
+        after this long is abandoned (the paper's workload operates under
+        "response time restrictions"; real load drivers time requests out).
+        Abandonment bounds congestion, so saturated configurations degrade
+        to a finite plateau instead of growing with the measurement window.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        database: Database,
+        mfg_threads: int,
+        web_threads: int,
+        default_threads: int,
+        machine: MachineSpec = None,
+        rng: np.random.Generator = None,
+        request_timeout: float = 0.3,
+        mfg_database: Database = None,
+    ):
+        for name, value in (
+            ("mfg_threads", mfg_threads),
+            ("web_threads", web_threads),
+            ("default_threads", default_threads),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        self.sim = sim
+        self.database = database
+        self.mfg_database = (
+            mfg_database if mfg_database is not None else database
+        )
+        self.machine = machine if machine is not None else MachineSpec()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.cpu = MultiCoreCpu(
+            sim,
+            cores=self.machine.cores,
+            quantum=self.machine.quantum,
+            switch_cost=self.machine.switch_cost,
+            pollution_factor=self.machine.pollution_factor,
+            excess_cap=self.machine.excess_cap,
+        )
+        self.pools: Dict[str, Resource] = {
+            MFG_QUEUE: Resource(sim, max(1, mfg_threads), name="mfg-queue"),
+            WEB_QUEUE: Resource(sim, max(1, web_threads), name="web-queue"),
+            DEFAULT_QUEUE: Resource(
+                sim, max(1, default_threads), name="default-queue"
+            ),
+        }
+        if request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
+        self.request_timeout = float(request_timeout)
+        self.inventory_lock = Resource(sim, 1, name="inventory-lock")
+        self.transactions_completed = 0
+        self.transactions_abandoned = 0
+
+    # ------------------------------------------------------------------
+
+    def handle(self, txn: Transaction) -> Generator[Effect, object, None]:
+        """The full middle-tier flow of one transaction.
+
+        Web-interaction classes (``domain_queue is None``) run end to end on
+        one web-queue thread: parsing/session CPU, client I/O, business CPU,
+        lock section and database calls.  Two-stage classes release the web
+        thread after the front-end work and run the business stage on their
+        domain queue; background classes (``has_web_stage=False``) skip the
+        front end entirely.
+        """
+        cls = txn.txn_class
+        sim = self.sim
+
+        if cls.has_web_stage:
+            granted = yield Acquire(
+                self.pools[WEB_QUEUE], timeout=self.request_timeout
+            )
+            if not granted:
+                txn.abandoned_at = sim.now
+                self.transactions_abandoned += 1
+                return
+            txn.stage_times["web_start"] = sim.now
+            yield Execute(self.cpu, cls.web_cpu.sample(self._rng))
+            yield Delay(cls.web_io.sample(self._rng))
+            if cls.domain_queue is None:
+                # Business work rides the web thread.
+                yield from self._business(txn)
+            yield Release(self.pools[WEB_QUEUE])
+            txn.stage_times["web_end"] = sim.now
+
+        if cls.domain_queue is not None:
+            domain_pool = self.pools[cls.domain_queue]
+            granted = yield Acquire(domain_pool, timeout=self.request_timeout)
+            if not granted:
+                txn.abandoned_at = sim.now
+                self.transactions_abandoned += 1
+                return
+            txn.stage_times["domain_start"] = sim.now
+            yield from self._business(txn)
+            yield Release(domain_pool)
+            txn.stage_times["domain_end"] = sim.now
+
+        txn.completed_at = sim.now
+        self.transactions_completed += 1
+
+    def _business(self, txn: Transaction) -> Generator[Effect, object, None]:
+        """Business CPU burst, optional lock section, database calls.
+
+        Lock-holding classes keep the inventory lock across their database
+        work (read-modify-write on stock rows), the transactional pattern
+        that makes purchase latency so sensitive to admitted concurrency.
+        """
+        cls = txn.txn_class
+        database = (
+            self.mfg_database if cls.db_partition == "mfg" else self.database
+        )
+        yield Execute(self.cpu, cls.domain_cpu.sample(self._rng))
+        if cls.uses_inventory_lock:
+            yield Acquire(self.inventory_lock)
+            yield Execute(self.cpu, cls.lock_cpu.sample(self._rng))
+            for _ in range(cls.db_calls):
+                yield from database.call(cls.db_service)
+            yield Release(self.inventory_lock)
+        else:
+            for _ in range(cls.db_calls):
+                yield from database.call(cls.db_service)
+
+    # ------------------------------------------------------------------
+
+    def pool_utilization(self, queue: str) -> float:
+        """Time-averaged utilization of one work queue's threads."""
+        return self.pools[queue].utilization()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {name: pool.capacity for name, pool in self.pools.items()}
+        return f"AppServer(pools={sizes}, cores={self.machine.cores})"

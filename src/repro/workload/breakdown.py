@@ -1,0 +1,153 @@
+"""Per-transaction latency breakdown.
+
+The response-time indicators answer *how slow*; a tuning engineer also needs
+*where the time goes*.  This module decomposes completed transactions' end-
+to-end latency into the stages the simulator records — web-queue wait, web
+stage residence, domain-queue wait, business-stage residence — and
+aggregates them per class, turning "dealer purchase is slow at this
+configuration" into "dealer purchase spends 60 % of its time waiting for a
+web thread".
+
+Works on the ``stage_times`` stamps :class:`~repro.workload.appserver.AppServer`
+leaves on every :class:`~repro.workload.transactions.Transaction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .transactions import Transaction
+
+__all__ = ["StageShare", "ClassBreakdown", "LatencyBreakdown", "breakdown"]
+
+#: Stage labels, in transaction order.
+WEB_WAIT = "web_queue_wait"
+WEB_STAGE = "web_stage"
+DOMAIN_WAIT = "domain_queue_wait"
+DOMAIN_STAGE = "domain_stage"
+
+_STAGES = (WEB_WAIT, WEB_STAGE, DOMAIN_WAIT, DOMAIN_STAGE)
+
+
+@dataclass(frozen=True)
+class StageShare:
+    """One stage's contribution to a class's mean latency."""
+
+    stage: str
+    mean_seconds: float
+    share: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.stage}: {1000 * self.mean_seconds:.1f} ms ({100 * self.share:.0f}%)"
+
+
+@dataclass
+class ClassBreakdown:
+    """Stage decomposition of one transaction class."""
+
+    name: str
+    transactions: int
+    mean_response_time: float
+    stages: List[StageShare]
+
+    def dominant_stage(self) -> StageShare:
+        """The stage carrying the largest share of the latency."""
+        return max(self.stages, key=lambda s: s.share)
+
+    def to_text(self) -> str:
+        """One readable block per class."""
+        lines = [
+            f"{self.name}: {1000 * self.mean_response_time:.1f} ms mean over "
+            f"{self.transactions} transactions"
+        ]
+        for stage in self.stages:
+            bar = "#" * int(round(40 * stage.share))
+            lines.append(
+                f"  {stage.stage:18s} {1000 * stage.mean_seconds:8.1f} ms "
+                f"{100 * stage.share:5.1f}%  {bar}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Stage decompositions for every class in a run."""
+
+    per_class: Dict[str, ClassBreakdown] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> ClassBreakdown:
+        return self.per_class[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.per_class
+
+    def classes(self) -> List[str]:
+        """Class names present, sorted."""
+        return sorted(self.per_class)
+
+    def to_text(self) -> str:
+        """All classes' blocks."""
+        return "\n\n".join(
+            self.per_class[name].to_text() for name in self.classes()
+        )
+
+
+def _stage_durations(txn: Transaction) -> Optional[Dict[str, float]]:
+    """Decompose one completed transaction; None if stamps are missing."""
+    if not txn.is_complete:
+        return None
+    stamps = txn.stage_times
+    durations = {stage: 0.0 for stage in _STAGES}
+    cursor = txn.arrived_at
+    if "web_start" in stamps:
+        durations[WEB_WAIT] = stamps["web_start"] - cursor
+        end = stamps.get("web_end", txn.completed_at)
+        durations[WEB_STAGE] = end - stamps["web_start"]
+        cursor = end
+    if "domain_start" in stamps:
+        durations[DOMAIN_WAIT] = stamps["domain_start"] - cursor
+        end = stamps.get("domain_end", txn.completed_at)
+        durations[DOMAIN_STAGE] = end - stamps["domain_start"]
+    return durations
+
+
+def breakdown(transactions: Iterable[Transaction]) -> LatencyBreakdown:
+    """Aggregate per-stage latency over completed transactions.
+
+    Transactions without completion (in flight or abandoned) are skipped.
+    Shares are relative to each class's mean response time, so they sum to
+    ~1 per class (exactly 1 when all stages are stamped).
+    """
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    totals: Dict[str, float] = {}
+    for txn in transactions:
+        durations = _stage_durations(txn)
+        if durations is None:
+            continue
+        name = txn.txn_class.name
+        per_stage = sums.setdefault(name, {stage: 0.0 for stage in _STAGES})
+        for stage, value in durations.items():
+            per_stage[stage] += value
+        counts[name] = counts.get(name, 0) + 1
+        totals[name] = totals.get(name, 0.0) + txn.response_time
+
+    result = LatencyBreakdown()
+    for name, per_stage in sums.items():
+        n = counts[name]
+        mean_rt = totals[name] / n
+        shares = []
+        for stage in _STAGES:
+            mean_stage = per_stage[stage] / n
+            share = mean_stage / mean_rt if mean_rt > 0 else 0.0
+            shares.append(
+                StageShare(stage=stage, mean_seconds=mean_stage, share=share)
+            )
+        result.per_class[name] = ClassBreakdown(
+            name=name,
+            transactions=n,
+            mean_response_time=mean_rt,
+            stages=shares,
+        )
+    return result

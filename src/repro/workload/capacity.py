@@ -1,0 +1,222 @@
+"""First-order capacity planning from the transaction mix.
+
+Before running any experiment, a performance engineer can bound the system
+with operational laws: offered load × mean hold time gives the busy-thread
+demand of each pool (Little's law), and summed CPU demands give core
+utilization.  This module mechanizes that arithmetic for a transaction mix:
+
+* per-pool busy-thread estimates and the *knee* (the smallest pool size
+  with a configurable headroom margin),
+* CPU and database utilization estimates,
+* bottleneck identification for a concrete configuration,
+* the maximum sustainable injection rate.
+
+These are contention-free first-order numbers — the simulator exists
+precisely because the interesting behavior (valleys, hills) lives beyond
+them — but they bracket the sensible configuration space and seed the
+experiment designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .appserver import MachineSpec
+from .service import WorkloadConfig
+from .transactions import (
+    DEFAULT_QUEUE,
+    MFG_QUEUE,
+    WEB_QUEUE,
+    TransactionClass,
+    standard_mix,
+)
+
+__all__ = ["PoolDemand", "CapacityReport", "CapacityPlanner"]
+
+
+@dataclass(frozen=True)
+class PoolDemand:
+    """Little's-law demand on one thread pool."""
+
+    pool: str
+    #: Mean concurrently-busy threads (offered load x hold time).
+    busy_threads: float
+    #: Smallest pool size with the planner's headroom margin.
+    recommended_size: int
+
+    def utilization(self, configured: int) -> float:
+        """Estimated utilization at a configured size."""
+        if configured < 1:
+            configured = 1
+        return self.busy_threads / configured
+
+
+@dataclass
+class CapacityReport:
+    """All first-order demands for a mix at one injection rate."""
+
+    injection_rate: float
+    pools: Dict[str, PoolDemand]
+    cpu_cores_demanded: float
+    cpu_utilization: float
+    db_connections_demanded: Dict[str, float]
+    max_injection_rate: float
+    notes: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Readable planning summary."""
+        lines = [
+            f"Capacity plan at injection rate {self.injection_rate:g}/s",
+            f"  CPU: {self.cpu_cores_demanded:.2f} cores demanded "
+            f"({100 * self.cpu_utilization:.0f}% of the machine)",
+        ]
+        for name in sorted(self.pools):
+            demand = self.pools[name]
+            lines.append(
+                f"  {name + ' pool:':15s} {demand.busy_threads:5.1f} busy "
+                f"threads -> size >= {demand.recommended_size}"
+            )
+        for partition, connections in sorted(
+            self.db_connections_demanded.items()
+        ):
+            lines.append(
+                f"  db[{partition}]:      {connections:5.1f} connections busy"
+            )
+        lines.append(
+            f"  first-order max injection rate: "
+            f"{self.max_injection_rate:.0f}/s"
+        )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+class CapacityPlanner:
+    """Operational-law estimates for a transaction mix on a machine.
+
+    Parameters
+    ----------
+    classes:
+        The transaction mix (defaults to the canonical five-class mix).
+    machine:
+        The middle-tier hardware model.
+    headroom:
+        Target utilization ceiling used for pool sizing: a pool is sized so
+        its estimated utilization stays below this (0.8 by default —
+        conservative sizing; the simulator shows the true knee).
+    """
+
+    def __init__(
+        self,
+        classes: Optional[Sequence[TransactionClass]] = None,
+        machine: Optional[MachineSpec] = None,
+        headroom: float = 0.8,
+    ):
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError(f"headroom must lie in (0, 1], got {headroom}")
+        self.classes = list(classes) if classes is not None else standard_mix()
+        self.machine = machine if machine is not None else MachineSpec()
+        self.headroom = float(headroom)
+
+    # ------------------------------------------------------------------
+    # demand components
+    # ------------------------------------------------------------------
+
+    def pool_busy_threads(self, pool: str, injection_rate: float) -> float:
+        """Little's-law busy threads for one pool at ``injection_rate``."""
+        busy = 0.0
+        for cls in self.classes:
+            rate = injection_rate * cls.mix_weight
+            if pool == WEB_QUEUE and cls.has_web_stage:
+                busy += rate * cls.mean_web_hold()
+            elif pool in (MFG_QUEUE, DEFAULT_QUEUE) and cls.domain_queue == pool:
+                busy += rate * cls.mean_business_hold()
+        return busy
+
+    def cpu_cores(self, injection_rate: float) -> float:
+        """Contention-free CPU demand in cores."""
+        return sum(
+            injection_rate * cls.mix_weight * cls.mean_cpu_demand()
+            for cls in self.classes
+        )
+
+    def db_connections(self, injection_rate: float) -> Dict[str, float]:
+        """Busy connections per database partition."""
+        demands: Dict[str, float] = {}
+        for cls in self.classes:
+            rate = injection_rate * cls.mix_weight
+            busy = rate * cls.db_calls * cls.db_service.mean()
+            demands[cls.db_partition] = demands.get(cls.db_partition, 0.0) + busy
+        return demands
+
+    def max_injection_rate(self) -> float:
+        """Rate at which CPU demand reaches the headroom ceiling.
+
+        The CPU is the only resource whose capacity is fixed (pools and
+        connection pools are configurable), so it defines the first-order
+        throughput wall.
+        """
+        per_txn_cpu = sum(
+            cls.mix_weight * cls.mean_cpu_demand() for cls in self.classes
+        )
+        if per_txn_cpu <= 0:
+            raise ValueError("mix has no CPU demand; rate is unbounded")
+        return self.headroom * self.machine.cores / per_txn_cpu
+
+    # ------------------------------------------------------------------
+
+    def plan(self, injection_rate: float) -> CapacityReport:
+        """Full first-order report for one injection rate."""
+        if injection_rate <= 0:
+            raise ValueError(
+                f"injection_rate must be positive, got {injection_rate}"
+            )
+        pools = {}
+        for pool in (WEB_QUEUE, MFG_QUEUE, DEFAULT_QUEUE):
+            busy = self.pool_busy_threads(pool, injection_rate)
+            recommended = max(1, int(-(-busy // self.headroom)))  # ceil
+            pools[pool] = PoolDemand(
+                pool=pool, busy_threads=busy, recommended_size=recommended
+            )
+        cores = self.cpu_cores(injection_rate)
+        utilization = cores / self.machine.cores
+        notes = []
+        if utilization > self.headroom:
+            notes.append(
+                "CPU demand exceeds the headroom ceiling; expect contention "
+                "inflation and deadline misses"
+            )
+        return CapacityReport(
+            injection_rate=float(injection_rate),
+            pools=pools,
+            cpu_cores_demanded=cores,
+            cpu_utilization=utilization,
+            db_connections_demanded=self.db_connections(injection_rate),
+            max_injection_rate=self.max_injection_rate(),
+            notes=notes,
+        )
+
+    def bottleneck(self, config: WorkloadConfig) -> str:
+        """The most utilized resource at a concrete configuration.
+
+        Returns one of ``"cpu"``, ``"web"``, ``"mfg"``, ``"default"`` — the
+        resource whose first-order utilization is highest, i.e. the knob to
+        turn first.
+        """
+        rate = config.injection_rate
+        utilizations = {
+            "cpu": self.cpu_cores(rate) / self.machine.cores,
+            WEB_QUEUE: self.pool_busy_threads(WEB_QUEUE, rate)
+            / max(1, config.web_threads),
+            MFG_QUEUE: self.pool_busy_threads(MFG_QUEUE, rate)
+            / max(1, config.mfg_threads),
+            DEFAULT_QUEUE: self.pool_busy_threads(DEFAULT_QUEUE, rate)
+            / max(1, config.default_threads),
+        }
+        return max(utilizations, key=utilizations.get)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CapacityPlanner(classes={len(self.classes)}, "
+            f"headroom={self.headroom})"
+        )

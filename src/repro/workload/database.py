@@ -1,0 +1,79 @@
+"""The backend database tier.
+
+The paper states that "the database server [is] not CPU-bound" and serves
+purely as data storage, so we model it as a connection-pooled service
+station: a database call acquires a connection, experiences a (lognormal)
+service delay on the database machine, and releases the connection.  The
+middle-tier domain thread stays held for the duration — the synchronous
+JDBC-call pattern that makes thread-pool sizing interact with database
+latency.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .des import Delay, Effect, Simulator
+from .distributions import Distribution
+from .resources import Acquire, Release, Resource
+
+__all__ = ["Database"]
+
+
+class Database:
+    """Connection-pooled, non-CPU-bound storage tier.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    connections:
+        Connection-pool capacity; sized generously by default since the
+        paper's database tier is never the bottleneck.
+    rng:
+        Random stream for service-time draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connections: int = 16,
+        rng: np.random.Generator = None,
+    ):
+        if connections < 1:
+            raise ValueError(f"connections must be >= 1, got {connections}")
+        self.sim = sim
+        self.pool = Resource(sim, connections, name="db-connections")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.calls_served = 0
+        self.total_service_time = 0.0
+        #: Multiplier applied to every service draw; disturbances (e.g. a
+        #: checkpoint stall or a noisy neighbour) raise it temporarily.
+        self.slowdown_factor = 1.0
+
+    def call(self, service: Distribution) -> Generator[Effect, object, None]:
+        """One synchronous database call (a sub-flow to ``yield from``).
+
+        Acquires a connection (FIFO wait if the pool is exhausted), holds it
+        for a drawn service time, then releases it.
+        """
+        yield Acquire(self.pool)
+        duration = service.sample(self._rng) * self.slowdown_factor
+        yield Delay(duration)
+        yield Release(self.pool)
+        self.calls_served += 1
+        self.total_service_time += duration
+
+    def mean_service_time(self) -> float:
+        """Average observed service time across all calls so far."""
+        if self.calls_served == 0:
+            return 0.0
+        return self.total_service_time / self.calls_served
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Database(connections={self.pool.capacity}, "
+            f"calls_served={self.calls_served})"
+        )

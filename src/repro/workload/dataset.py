@@ -1,0 +1,186 @@
+"""Sample collections: (configuration, indicators) tuples.
+
+"A set of training samples are collected by running the identical
+application under various configurations; each sample amounts to one
+specific configuration and the performance of the application under the
+configuration" (paper Section 2.2).  A :class:`Dataset` is that collection —
+an ``(n, 4)`` configuration matrix ``x`` and an ``(n, 5)`` indicator matrix
+``y`` with named columns — plus CSV persistence so expensively-simulated
+collections can be reused across experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .service import INPUT_NAMES, OUTPUT_NAMES, WorkloadConfig
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """An immutable-by-convention sample collection with named columns."""
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        input_names: Optional[Sequence[str]] = None,
+        output_names: Optional[Sequence[str]] = None,
+    ):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.ndim != 2:
+            raise ValueError(
+                f"x and y must be 2-D, got shapes {x.shape} and {y.shape}"
+            )
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        self.x = x
+        self.y = y
+        self.input_names = list(input_names or INPUT_NAMES[: x.shape[1]])
+        self.output_names = list(output_names or OUTPUT_NAMES[: y.shape[1]])
+        if len(self.input_names) != x.shape[1]:
+            raise ValueError(
+                f"{len(self.input_names)} input names for {x.shape[1]} columns"
+            )
+        if len(self.output_names) != y.shape[1]:
+            raise ValueError(
+                f"{len(self.output_names)} output names for {y.shape[1]} columns"
+            )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of configuration parameters."""
+        return self.x.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of performance indicators."""
+        return self.y.shape[1]
+
+    def configs(self) -> List[WorkloadConfig]:
+        """Rows of ``x`` as :class:`WorkloadConfig` (4-input datasets only)."""
+        if self.n_inputs != 4:
+            raise ValueError(
+                f"configs() requires 4 input columns, dataset has {self.n_inputs}"
+            )
+        return [WorkloadConfig.from_vector(row) for row in self.x]
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """A new dataset containing only ``indices`` (in the given order)."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            self.x[indices],
+            self.y[indices],
+            input_names=self.input_names,
+            output_names=self.output_names,
+        )
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Stack two datasets with identical schemas."""
+        if self.input_names != other.input_names:
+            raise ValueError("input schemas differ")
+        if self.output_names != other.output_names:
+            raise ValueError("output schemas differ")
+        return Dataset(
+            np.vstack([self.x, other.x]),
+            np.vstack([self.y, other.y]),
+            input_names=self.input_names,
+            output_names=self.output_names,
+        )
+
+    def output_column(self, name: str) -> np.ndarray:
+        """One indicator column by name."""
+        try:
+            index = self.output_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown output {name!r}; have {self.output_names}"
+            ) from None
+        return self.y[:, index]
+
+    def input_column(self, name: str) -> np.ndarray:
+        """One configuration column by name."""
+        try:
+            index = self.input_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown input {name!r}; have {self.input_names}"
+            ) from None
+        return self.x[:, index]
+
+    def summary(self) -> str:
+        """Per-column ranges — a quick sanity view of a collection."""
+        lines = [f"Dataset: {len(self)} samples"]
+        for j, name in enumerate(self.input_names):
+            col = self.x[:, j]
+            lines.append(
+                f"  input  {name}: min={col.min():g} max={col.max():g} "
+                f"mean={col.mean():g}"
+            )
+        for j, name in enumerate(self.output_names):
+            col = self.y[:, j]
+            lines.append(
+                f"  output {name}: min={col.min():g} max={col.max():g} "
+                f"mean={col.mean():g}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save_csv(self, path: Union[str, Path]) -> Path:
+        """Write the collection as one CSV with a header row."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [f"x:{n}" for n in self.input_names]
+                + [f"y:{n}" for n in self.output_names]
+            )
+            for xi, yi in zip(self.x, self.y):
+                writer.writerow([repr(float(v)) for v in xi] + [repr(float(v)) for v in yi])
+        return path
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "Dataset":
+        """Inverse of :meth:`save_csv`."""
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            input_names = [h[2:] for h in header if h.startswith("x:")]
+            output_names = [h[2:] for h in header if h.startswith("y:")]
+            if not input_names or not output_names:
+                raise ValueError(f"{path} is not a Dataset CSV (bad header)")
+            rows = [list(map(float, row)) for row in reader if row]
+        if not rows:
+            raise ValueError(f"{path} contains no samples")
+        data = np.asarray(rows, dtype=float)
+        n_in = len(input_names)
+        return cls(
+            data[:, :n_in],
+            data[:, n_in:],
+            input_names=input_names,
+            output_names=output_names,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset(n={len(self)}, inputs={self.input_names}, "
+            f"outputs={self.output_names})"
+        )

@@ -1,0 +1,152 @@
+"""Failure and load-disturbance injection.
+
+Steady-state characterization assumes nothing changes mid-run; production
+systems are not so polite.  A :class:`Disturbance` schedules a transient
+change — a database stall, a CPU-stealing noisy neighbour, a traffic surge —
+into a simulation, and the timeline metrics
+(:mod:`repro.workload.timeline`) show how the indicators absorb and recover
+from it.  Used for failure-injection tests and for studying how much
+headroom a recommended configuration actually has.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .appserver import AppServer
+from .cpu import CpuJob
+from .des import Process, Simulator
+from .driver import LoadDriver
+
+__all__ = [
+    "Disturbance",
+    "DatabaseSlowdown",
+    "TrafficSurge",
+    "CpuHog",
+    "schedule_disturbances",
+]
+
+
+class Disturbance:
+    """A transient change over ``[start, start + duration)``."""
+
+    def __init__(self, start: float, duration: float):
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.start = float(start)
+        self.duration = float(duration)
+
+    def schedule(
+        self, sim: Simulator, server: AppServer, driver: LoadDriver
+    ) -> None:
+        """Arrange the onset and recovery events."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(start={self.start}, "
+            f"duration={self.duration})"
+        )
+
+
+class DatabaseSlowdown(Disturbance):
+    """The shared database slows by ``factor`` (checkpoint, backup, noisy
+    neighbour on the storage array).
+
+    ``partition`` selects the shared or the manufacturing pool.
+    """
+
+    def __init__(
+        self,
+        start: float,
+        duration: float,
+        factor: float = 3.0,
+        partition: str = "shared",
+    ):
+        super().__init__(start, duration)
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        if partition not in ("shared", "mfg"):
+            raise ValueError(
+                f"partition must be 'shared' or 'mfg', got {partition!r}"
+            )
+        self.factor = float(factor)
+        self.partition = partition
+
+    def schedule(self, sim, server, driver):
+        database = (
+            server.mfg_database if self.partition == "mfg" else server.database
+        )
+
+        def onset():
+            database.slowdown_factor *= self.factor
+
+        def recovery():
+            database.slowdown_factor /= self.factor
+
+        sim.schedule(self.start, onset)
+        sim.schedule(self.start + self.duration, recovery)
+
+
+class TrafficSurge(Disturbance):
+    """Injection rate multiplies by ``multiplier`` for the interval."""
+
+    def __init__(self, start: float, duration: float, multiplier: float = 1.5):
+        super().__init__(start, duration)
+        if multiplier <= 0:
+            raise ValueError(
+                f"multiplier must be positive, got {multiplier}"
+            )
+        self.multiplier = float(multiplier)
+
+    def schedule(self, sim, server, driver):
+        def onset():
+            driver.rate_multiplier *= self.multiplier
+
+        def recovery():
+            driver.rate_multiplier /= self.multiplier
+
+        sim.schedule(self.start, onset)
+        sim.schedule(self.start + self.duration, recovery)
+
+
+class CpuHog(Disturbance):
+    """A co-located process burns ``cores`` cores' worth of CPU.
+
+    Implemented as ``cores`` synthetic jobs of ``duration`` CPU-seconds
+    each, submitted at onset — under round-robin they occupy roughly that
+    much capacity for the interval and then drain.
+    """
+
+    def __init__(self, start: float, duration: float, cores: int = 2):
+        super().__init__(start, duration)
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.cores = int(cores)
+
+    def schedule(self, sim, server, driver):
+        def onset():
+            for index in range(self.cores):
+                def hog():
+                    from .cpu import Execute
+
+                    yield Execute(server.cpu, self.duration)
+
+                sim.spawn(hog(), name=f"cpu-hog-{self.start}-{index}")
+
+        sim.schedule(self.start, onset)
+
+
+def schedule_disturbances(
+    disturbances: Sequence[Disturbance],
+    sim: Simulator,
+    server: AppServer,
+    driver: LoadDriver,
+) -> None:
+    """Arrange every disturbance on a freshly-built simulation."""
+    for disturbance in disturbances:
+        if not isinstance(disturbance, Disturbance):
+            raise TypeError(f"{disturbance!r} is not a Disturbance")
+        disturbance.schedule(sim, server, driver)

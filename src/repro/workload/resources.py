@@ -1,0 +1,202 @@
+"""Counted resources with FIFO queueing: thread pools, connection pools, locks.
+
+A :class:`Resource` holds ``capacity`` interchangeable tokens.  Processes
+yield :class:`Acquire` to obtain a token (waiting in FIFO order when none is
+free) and :class:`Release` to return it.  The resource records the queueing
+statistics the workload model needs: time spent waiting for a token and the
+time-averaged number of busy tokens (i.e. busy threads).
+
+The application server's *work queues* (paper Section 4: the mfg, web and
+default queues) are Resources whose capacity is the configured thread count —
+exactly the tunable the paper's model takes as input.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .des import Effect, Event, Process, Simulator
+
+__all__ = ["Resource", "Acquire", "Release"]
+
+
+class _Waiter:
+    """Queue entry: the parked process plus its timeout bookkeeping."""
+
+    __slots__ = ("process", "enqueued_at", "timeout_event", "abandoned")
+
+    def __init__(self, process: Process, enqueued_at: float):
+        self.process = process
+        self.enqueued_at = enqueued_at
+        self.timeout_event: Optional[Event] = None
+        self.abandoned = False
+
+
+class Resource:
+    """A pool of ``capacity`` tokens with a FIFO wait queue."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[_Waiter] = deque()
+        # statistics
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+        self.total_abandonments = 0
+        self.max_queue_length = 0
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_change = sim.now
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def _advance_integrals(self) -> None:
+        elapsed = self.sim.now - self._last_change
+        if elapsed > 0:
+            self._busy_integral += elapsed * self.in_use
+            self._queue_integral += elapsed * len(self._waiters)
+        self._last_change = self.sim.now
+
+    def mean_busy(self, horizon: Optional[float] = None) -> float:
+        """Time-averaged number of tokens in use over ``[0, horizon]``."""
+        self._advance_integrals()
+        horizon = self.sim.now if horizon is None else horizon
+        return self._busy_integral / horizon if horizon > 0 else 0.0
+
+    def mean_queue_length(self, horizon: Optional[float] = None) -> float:
+        """Time-averaged number of waiting processes."""
+        self._advance_integrals()
+        horizon = self.sim.now if horizon is None else horizon
+        return self._queue_integral / horizon if horizon > 0 else 0.0
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """``mean_busy / capacity`` (0 for a zero-capacity pool)."""
+        if self.capacity == 0:
+            return 0.0
+        return self.mean_busy(horizon) / self.capacity
+
+    @property
+    def queue_length(self) -> int:
+        """Processes currently waiting for a token."""
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        """Free tokens right now."""
+        return self.capacity - self.in_use
+
+    # ------------------------------------------------------------------
+    # engine interface (used by the Acquire/Release effects)
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, process: Process, timeout: Optional[float] = None
+    ) -> Optional[bool]:
+        """Grant a token now (True), or enqueue the process (None).
+
+        When ``timeout`` is given and elapses before a token is granted,
+        the waiter abandons the queue and the process resumes with False.
+        """
+        if self.capacity == 0:
+            raise RuntimeError(
+                f"resource {self.name!r} has zero capacity; "
+                "acquiring would block forever"
+            )
+        self._advance_integrals()
+        if self.in_use < self.capacity and not self._waiters:
+            self.in_use += 1
+            self.total_acquisitions += 1
+            return True
+        waiter = _Waiter(process, self.sim.now)
+        if timeout is not None:
+            waiter.timeout_event = self.sim.schedule(
+                timeout, lambda waiter=waiter: self._abandon(waiter)
+            )
+        self._waiters.append(waiter)
+        self.max_queue_length = max(self.max_queue_length, len(self._waiters))
+        return None
+
+    def _abandon(self, waiter: _Waiter) -> None:
+        """Timeout fired: drop the waiter and resume it empty-handed."""
+        if waiter.abandoned:
+            return
+        waiter.abandoned = True
+        self._advance_integrals()
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:  # pragma: no cover - defensive; granted already
+            return
+        self.total_abandonments += 1
+        self.total_wait_time += self.sim.now - waiter.enqueued_at
+        self.sim.schedule(0.0, lambda: waiter.process.resume(False))
+
+    def _release(self) -> None:
+        """Return a token; hand it straight to the next waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of {self.name!r} with none in use")
+        self._advance_integrals()
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.timeout_event is not None:
+                waiter.timeout_event.cancel()
+            self.total_wait_time += self.sim.now - waiter.enqueued_at
+            self.total_acquisitions += 1
+            # The token passes directly to the waiter; in_use is unchanged.
+            self.sim.schedule(0.0, lambda: waiter.process.resume(True))
+        else:
+            self.in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Resource({self.name!r}, {self.in_use}/{self.capacity} busy, "
+            f"{len(self._waiters)} waiting)"
+        )
+
+
+class Acquire(Effect):
+    """Yielded by a process to obtain one token of ``resource``.
+
+    The yield expression evaluates to True when the token was granted and —
+    only possible when ``timeout`` is set — False when the wait was
+    abandoned.  Callers without a timeout may ignore the value.
+    """
+
+    def __init__(self, resource: Resource, timeout: Optional[float] = None):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.resource = resource
+        self.timeout = timeout
+
+    def apply(self, sim, process):
+        if self.resource._request(process, timeout=self.timeout):
+            return (True, True)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Acquire({self.resource.name!r}, timeout={self.timeout})"
+
+
+class Release(Effect):
+    """Yielded by a process to return one token of ``resource``.
+
+    Completes immediately; a waiting process (if any) is scheduled to run at
+    the current simulation time rather than re-entered synchronously, which
+    keeps the call stack flat.
+    """
+
+    def __init__(self, resource: Resource):
+        self.resource = resource
+
+    def apply(self, sim, process):
+        self.resource._release()
+        return (True, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Release({self.resource.name!r})"

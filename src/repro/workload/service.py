@@ -1,0 +1,381 @@
+"""Top-level facade: configure the 3-tier system, run it, collect indicators.
+
+This module ties driver, application server and database together and
+produces exactly the paper's 4-input / 5-output sample tuples:
+
+inputs  ``(injection_rate, default_threads, mfg_threads, web_threads)``
+outputs ``(manufacturing, dealer_purchase, dealer_manage, dealer_browse
+response times; effective transactions per second)``
+
+"As the workload has a steady state behavior, the averages of collected
+counter values are used" (Section 4): a warm-up period is discarded and
+indicators are averaged over the measurement window.  *Effective*
+throughput counts only transactions that met their class's response-time
+constraint, matching the paper's "response time restrictions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .appserver import AppServer, MachineSpec
+from .database import Database
+from .des import Simulator
+from .driver import LoadDriver
+from .rng import StreamRegistry
+from .transactions import (
+    DEFAULT_QUEUE,
+    MFG_QUEUE,
+    WEB_QUEUE,
+    Transaction,
+    TransactionClass,
+    standard_mix,
+)
+
+__all__ = [
+    "INPUT_NAMES",
+    "OUTPUT_NAMES",
+    "WorkloadConfig",
+    "ClassStats",
+    "WorkloadMetrics",
+    "ThreeTierWorkload",
+]
+
+#: Input-parameter order used throughout the repo.  The paper's figure
+#: captions use the tuple (injection rate, default queue, mfg queue,
+#: web queue); we keep the same order.
+INPUT_NAMES = ["injection_rate", "default_threads", "mfg_threads", "web_threads"]
+
+#: Output-indicator order (the paper's four response times then throughput).
+OUTPUT_NAMES = [
+    "manufacturing_rt",
+    "dealer_purchase_rt",
+    "dealer_manage_rt",
+    "dealer_browse_rt",
+    "effective_tps",
+]
+
+#: Transaction-class name feeding each response-time indicator.
+_RT_CLASS_FOR_OUTPUT = {
+    "manufacturing_rt": "manufacturing",
+    "dealer_purchase_rt": "dealer_purchase",
+    "dealer_manage_rt": "dealer_manage",
+    "dealer_browse_rt": "dealer_browse",
+}
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One point in the paper's 4-dimensional configuration space."""
+
+    injection_rate: float
+    default_threads: int
+    mfg_threads: int
+    web_threads: int
+
+    def __post_init__(self):
+        if self.injection_rate <= 0:
+            raise ValueError(
+                f"injection_rate must be positive, got {self.injection_rate}"
+            )
+        for name in ("default_threads", "mfg_threads", "web_threads"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
+
+    def as_vector(self) -> np.ndarray:
+        """The configuration as a float vector in :data:`INPUT_NAMES` order."""
+        return np.array(
+            [
+                self.injection_rate,
+                self.default_threads,
+                self.mfg_threads,
+                self.web_threads,
+            ],
+            dtype=float,
+        )
+
+    @classmethod
+    def from_vector(cls, vector: Sequence[float]) -> "WorkloadConfig":
+        """Inverse of :meth:`as_vector` (thread counts are rounded)."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (4,):
+            raise ValueError(f"expected 4 values, got shape {vector.shape}")
+        return cls(
+            injection_rate=float(vector[0]),
+            default_threads=int(round(vector[1])),
+            mfg_threads=int(round(vector[2])),
+            web_threads=int(round(vector[3])),
+        )
+
+
+@dataclass
+class ClassStats:
+    """Per-class latency statistics over the measurement window."""
+
+    name: str
+    completed: int
+    mean_response_time: float
+    p50: float
+    p90: float
+    p99: float
+    deadline: float
+    deadline_met: int
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of completed transactions meeting the constraint."""
+        return self.deadline_met / self.completed if self.completed else 0.0
+
+
+@dataclass
+class WorkloadMetrics:
+    """Everything measured from one simulation run."""
+
+    config: WorkloadConfig
+    #: The five paper indicators, keyed by :data:`OUTPUT_NAMES`.
+    indicators: Dict[str, float]
+    per_class: Dict[str, ClassStats]
+    injected: int
+    completed: int
+    abandoned: int
+    effective_completed: int
+    measurement_window: float
+    #: Raw throughput (all completions/s) alongside the effective figure.
+    raw_tps: float
+    cpu_utilization: float
+    pool_utilization: Dict[str, float]
+    pool_mean_wait: Dict[str, float]
+    events_executed: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+    #: The measured-window transactions, kept only when the workload was
+    #: created with ``collect_transactions=True`` (memory-heavy).
+    transactions: Optional[List[Transaction]] = None
+
+    def as_vector(self) -> np.ndarray:
+        """The five indicators in :data:`OUTPUT_NAMES` order."""
+        return np.array([self.indicators[k] for k in OUTPUT_NAMES], dtype=float)
+
+
+class ThreeTierWorkload:
+    """Runnable 3-tier system: driver + app server + database.
+
+    Parameters
+    ----------
+    classes:
+        Transaction mix; defaults to :func:`~repro.workload.transactions.standard_mix`.
+    machine:
+        Middle-tier hardware model (Table 1 testbed by default).
+    db_connections:
+        Shared (dealer/background) connection-pool size.
+    mfg_db_connections:
+        Manufacturing partition's connection-pool size.
+    warmup:
+        Simulated seconds discarded before measurement.
+    duration:
+        Simulated seconds of the measurement window.
+    seed:
+        Master seed; all stochastic streams derive from it.
+    request_timeout:
+        Driver patience before abandoning a queued request (seconds).
+    collect_transactions:
+        Keep the measured-window :class:`Transaction` records on the
+        returned metrics (for latency breakdowns and tracing).
+    """
+
+    def __init__(
+        self,
+        classes: Optional[Sequence[TransactionClass]] = None,
+        machine: Optional[MachineSpec] = None,
+        db_connections: int = 14,
+        mfg_db_connections: int = 14,
+        warmup: float = 4.0,
+        duration: float = 16.0,
+        seed: int = 0,
+        request_timeout: float = 0.3,
+        collect_transactions: bool = False,
+    ):
+        if warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.classes = list(classes) if classes is not None else standard_mix()
+        self.machine = machine if machine is not None else MachineSpec()
+        self.db_connections = int(db_connections)
+        self.mfg_db_connections = int(mfg_db_connections)
+        self.warmup = float(warmup)
+        self.duration = float(duration)
+        self.seed = int(seed)
+        self.request_timeout = float(request_timeout)
+        self.collect_transactions = bool(collect_transactions)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        config: WorkloadConfig,
+        disturbances: Optional[Sequence] = None,
+    ) -> WorkloadMetrics:
+        """Simulate one configuration and return its measured indicators.
+
+        ``disturbances`` (see :mod:`repro.workload.disturbances`) are
+        scheduled onto the run; their onset times are relative to t = 0,
+        i.e. include the warm-up.
+        """
+        sim = Simulator()
+        streams = StreamRegistry(self.seed)
+        database = Database(
+            sim,
+            connections=self.db_connections,
+            rng=streams.stream("database"),
+        )
+        mfg_database = Database(
+            sim,
+            connections=self.mfg_db_connections,
+            rng=streams.stream("mfg-database"),
+        )
+        server = AppServer(
+            sim,
+            database,
+            mfg_threads=config.mfg_threads,
+            web_threads=config.web_threads,
+            default_threads=config.default_threads,
+            machine=self.machine,
+            rng=streams.stream("service-times"),
+            request_timeout=self.request_timeout,
+            mfg_database=mfg_database,
+        )
+        driver = LoadDriver(
+            sim,
+            self.classes,
+            injection_rate=config.injection_rate,
+            handler=server.handle,
+            arrival_rng=streams.stream("arrivals"),
+            mix_rng=streams.stream("mix"),
+        )
+        driver.start()
+        if disturbances:
+            from .disturbances import schedule_disturbances
+
+            schedule_disturbances(disturbances, sim, server, driver)
+        end_time = self.warmup + self.duration
+        sim.run_until(end_time)
+        driver.stop()
+        return self._collect(sim, server, driver, config)
+
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self,
+        sim: Simulator,
+        server: AppServer,
+        driver: LoadDriver,
+        config: WorkloadConfig,
+    ) -> WorkloadMetrics:
+        """Aggregate indicators over transactions that *arrived* after warmup
+        and completed before the simulation end."""
+        window = self.duration
+        measured: List[Transaction] = [
+            t
+            for t in driver.transactions
+            if t.arrived_at >= self.warmup and t.is_complete
+        ]
+        abandoned = sum(
+            1
+            for t in driver.transactions
+            if t.arrived_at >= self.warmup and t.is_abandoned
+        )
+        per_class: Dict[str, ClassStats] = {}
+        effective = 0
+        for cls in self.classes:
+            rts = np.array(
+                [t.response_time for t in measured if t.txn_class is cls]
+            )
+            met = sum(
+                1
+                for t in measured
+                if t.txn_class is cls and t.met_deadline
+            )
+            effective += met
+            if rts.size:
+                per_class[cls.name] = ClassStats(
+                    name=cls.name,
+                    completed=int(rts.size),
+                    mean_response_time=float(rts.mean()),
+                    p50=float(np.percentile(rts, 50)),
+                    p90=float(np.percentile(rts, 90)),
+                    p99=float(np.percentile(rts, 99)),
+                    deadline=cls.deadline,
+                    deadline_met=int(met),
+                )
+            else:
+                # A fully-starved class: every request timed out, so the
+                # driver observed the request timeout as its latency.
+                timeout = (
+                    server.request_timeout
+                    if hasattr(server, "request_timeout")
+                    else window
+                )
+                per_class[cls.name] = ClassStats(
+                    name=cls.name,
+                    completed=0,
+                    mean_response_time=float(timeout),
+                    p50=float(timeout),
+                    p90=float(timeout),
+                    p99=float(timeout),
+                    deadline=cls.deadline,
+                    deadline_met=0,
+                )
+        indicators = {
+            output: per_class[cls_name].mean_response_time
+            for output, cls_name in _RT_CLASS_FOR_OUTPUT.items()
+        }
+        indicators["effective_tps"] = effective / window
+        pool_util = {
+            name: pool.utilization() for name, pool in server.pools.items()
+        }
+        pool_wait = {
+            name: (
+                pool.total_wait_time / pool.total_acquisitions
+                if pool.total_acquisitions
+                else 0.0
+            )
+            for name, pool in server.pools.items()
+        }
+        return WorkloadMetrics(
+            config=config,
+            indicators=indicators,
+            per_class=per_class,
+            injected=driver.injected,
+            completed=len(measured),
+            abandoned=abandoned,
+            effective_completed=effective,
+            measurement_window=window,
+            raw_tps=len(measured) / window,
+            cpu_utilization=server.cpu.utilization(),
+            pool_utilization=pool_util,
+            pool_mean_wait=pool_wait,
+            events_executed=sim.events_executed,
+            transactions=list(measured) if self.collect_transactions else None,
+            extras={
+                "cpu_total_overhead": server.cpu.total_overhead,
+                "cpu_dispatches": float(server.cpu.total_dispatches),
+                "db_mean_service": server.database.mean_service_time(),
+                "lock_mean_wait": (
+                    server.inventory_lock.total_wait_time
+                    / server.inventory_lock.total_acquisitions
+                    if server.inventory_lock.total_acquisitions
+                    else 0.0
+                ),
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ThreeTierWorkload(classes={len(self.classes)}, "
+            f"warmup={self.warmup}, duration={self.duration}, seed={self.seed})"
+        )

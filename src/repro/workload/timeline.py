@@ -1,0 +1,167 @@
+"""Time-series (windowed) indicator metrics.
+
+The paper averages over one steady-state window; with disturbances in play
+the *trajectory* matters — how deep does latency spike, how long until it
+recovers?  :func:`timeline_from_transactions` buckets completed transactions
+into fixed windows and computes the five canonical indicators per window;
+:class:`Timeline` adds the recovery arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .service import OUTPUT_NAMES
+from .transactions import Transaction
+
+__all__ = ["Timeline", "timeline_from_transactions"]
+
+_RT_CLASS_FOR_OUTPUT = {
+    "manufacturing_rt": "manufacturing",
+    "dealer_purchase_rt": "dealer_purchase",
+    "dealer_manage_rt": "dealer_manage",
+    "dealer_browse_rt": "dealer_browse",
+}
+
+
+@dataclass
+class Timeline:
+    """Windowed indicator series."""
+
+    #: Window start times.
+    times: np.ndarray
+    #: Window length in seconds.
+    interval: float
+    #: Indicator name -> per-window values (NaN where a window saw no
+    #: completion of the relevant class).
+    series: Dict[str, np.ndarray]
+
+    @property
+    def n_windows(self) -> int:
+        """Number of windows."""
+        return self.times.size
+
+    def indicator(self, name: str) -> np.ndarray:
+        """One indicator's series."""
+        if name not in self.series:
+            raise KeyError(f"unknown indicator {name!r}")
+        return self.series[name]
+
+    def baseline(self, name: str, until: float) -> float:
+        """Mean of an indicator over windows starting before ``until``."""
+        values = self.indicator(name)[self.times < until]
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            raise ValueError(f"no {name} data before t={until}")
+        return float(values.mean())
+
+    def peak_deviation(
+        self, name: str, after: float, baseline: Optional[float] = None
+    ) -> float:
+        """Largest |relative deviation| from baseline in windows >= after."""
+        base = (
+            baseline if baseline is not None else self.baseline(name, after)
+        )
+        values = self.indicator(name)[self.times >= after]
+        values = values[~np.isnan(values)]
+        if values.size == 0 or base == 0:
+            return 0.0
+        return float(np.max(np.abs(values - base)) / abs(base))
+
+    def recovery_time(
+        self,
+        name: str,
+        disturbance_end: float,
+        tolerance: float = 0.25,
+        baseline_until: Optional[float] = None,
+    ) -> Optional[float]:
+        """Seconds after ``disturbance_end`` until the indicator stays
+        within ``tolerance`` of its pre-disturbance baseline.
+
+        Returns None if it never re-enters the band within the timeline.
+        """
+        base = self.baseline(name, baseline_until or disturbance_end)
+        mask = self.times >= disturbance_end
+        times = self.times[mask]
+        values = self.indicator(name)[mask]
+        within = np.abs(values - base) <= tolerance * abs(base)
+        within |= np.isnan(values)  # an empty window is not evidence
+        for start in range(times.size):
+            if np.all(within[start:]):
+                return float(times[start] - disturbance_end)
+        return None
+
+    def to_text(self, names: Optional[Iterable[str]] = None) -> str:
+        """A compact table of the windowed series."""
+        names = list(names or OUTPUT_NAMES)
+        header = "t".rjust(7) + "".join(n[:14].rjust(16) for n in names)
+        lines = [header]
+        for i, t in enumerate(self.times):
+            cells = []
+            for name in names:
+                value = self.series[name][i]
+                cells.append(
+                    "-".rjust(16)
+                    if np.isnan(value)
+                    else f"{value:16.4g}"
+                )
+            lines.append(f"{t:7.1f}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def timeline_from_transactions(
+    transactions: Iterable[Transaction],
+    interval: float = 1.0,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> Timeline:
+    """Bucket completed transactions by completion time.
+
+    Response-time indicators are per-window means over the matching class;
+    effective throughput is deadline hits per second in the window.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    completed: List[Transaction] = [
+        t for t in transactions if t.is_complete
+    ]
+    if not completed:
+        raise ValueError("no completed transactions to bucket")
+    horizon = (
+        end
+        if end is not None
+        else max(t.completed_at for t in completed)
+    )
+    if horizon <= start:
+        raise ValueError(f"end {horizon} must exceed start {start}")
+    n_windows = int(np.ceil((horizon - start) / interval))
+    times = start + interval * np.arange(n_windows)
+
+    # Pre-bucket transactions.
+    buckets: List[List[Transaction]] = [[] for _ in range(n_windows)]
+    for txn in completed:
+        index = int((txn.completed_at - start) // interval)
+        if 0 <= index < n_windows:
+            buckets[index].append(txn)
+
+    series: Dict[str, np.ndarray] = {}
+    for output, cls_name in _RT_CLASS_FOR_OUTPUT.items():
+        values = np.full(n_windows, np.nan)
+        for i, bucket in enumerate(buckets):
+            rts = [
+                t.response_time
+                for t in bucket
+                if t.txn_class.name == cls_name
+            ]
+            if rts:
+                values[i] = float(np.mean(rts))
+        series[output] = values
+    effective = np.zeros(n_windows)
+    for i, bucket in enumerate(buckets):
+        effective[i] = sum(1 for t in bucket if t.met_deadline) / interval
+    series["effective_tps"] = effective
+
+    return Timeline(times=times, interval=float(interval), series=series)

@@ -1,0 +1,176 @@
+"""Arrival traces: record the driver's arrival process and replay it.
+
+Two reproducibility tools the stochastic drivers cannot give you:
+
+* **record** the exact arrival sequence (time, class) of a run, persist it
+  as CSV, and
+* **replay** it against a *different* configuration — a paired comparison
+  where the only varying factor is the configuration, eliminating
+  arrival-process variance entirely (the strongest form of common random
+  numbers).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Union
+
+from .des import Simulator
+from .driver import LoadDriver
+from .transactions import Transaction, TransactionClass, validate_mix
+
+__all__ = ["ArrivalTrace", "record_trace", "TraceDriver"]
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    time: float
+    class_name: str
+
+
+class ArrivalTrace:
+    """An ordered sequence of (arrival time, class name)."""
+
+    def __init__(self, arrivals: Sequence[tuple]):
+        parsed = [_Arrival(float(t), str(name)) for t, name in arrivals]
+        for early, late in zip(parsed, parsed[1:]):
+            if late.time < early.time:
+                raise ValueError("trace arrivals must be time-ordered")
+        if parsed and parsed[0].time < 0:
+            raise ValueError("arrival times must be non-negative")
+        self._arrivals = parsed
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def __iter__(self):
+        return iter(self._arrivals)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return self._arrivals[-1].time if self._arrivals else 0.0
+
+    def mean_rate(self) -> float:
+        """Arrivals per second over the trace's span."""
+        if len(self._arrivals) < 2 or self.duration == 0:
+            return 0.0
+        return len(self._arrivals) / self.duration
+
+    def class_counts(self) -> Dict[str, int]:
+        """Arrivals per class name."""
+        counts: Dict[str, int] = {}
+        for arrival in self._arrivals:
+            counts[arrival.class_name] = counts.get(arrival.class_name, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save_csv(self, path: Union[str, Path]) -> Path:
+        """Write the trace as ``time,class`` rows."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time", "class"])
+            for arrival in self._arrivals:
+                writer.writerow([repr(arrival.time), arrival.class_name])
+        return path
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """Inverse of :meth:`save_csv`."""
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            if header != ["time", "class"]:
+                raise ValueError(f"{path} is not an ArrivalTrace CSV")
+            rows = [(float(t), name) for t, name in reader]
+        return cls(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrivalTrace(n={len(self)}, duration={self.duration:.3f}s, "
+            f"rate={self.mean_rate():.1f}/s)"
+        )
+
+
+def record_trace(driver: LoadDriver) -> ArrivalTrace:
+    """Extract the arrival trace from a driver after a run."""
+    return ArrivalTrace(
+        [(t.arrived_at, t.txn_class.name) for t in driver.transactions]
+    )
+
+
+class TraceDriver:
+    """Replay a recorded trace against a handler.
+
+    Matches the :class:`~repro.workload.driver.LoadDriver` surface
+    (``start``, ``stop``, ``transactions``, ``injected``) so existing
+    collection code accepts it.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    classes:
+        Transaction mix containing every class name the trace references.
+    trace:
+        The recorded arrivals.
+    handler:
+        Returns the generator flow for each transaction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        classes: Sequence[TransactionClass],
+        trace: ArrivalTrace,
+        handler: Callable[[Transaction], object],
+    ):
+        validate_mix(classes)
+        self.sim = sim
+        self._by_name = {cls.name: cls for cls in classes}
+        missing = {a.class_name for a in trace} - set(self._by_name)
+        if missing:
+            raise ValueError(
+                f"trace references classes not in the mix: {sorted(missing)}"
+            )
+        self.trace = trace
+        self.handler = handler
+        self.transactions: List[Transaction] = []
+        self.injected = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Schedule every trace arrival."""
+        for arrival in self.trace:
+            self.sim.schedule(
+                arrival.time - self.sim.now,
+                lambda arrival=arrival: self._inject(arrival),
+            )
+
+    def stop(self) -> None:
+        """Suppress arrivals not yet injected."""
+        self._stopped = True
+
+    def _inject(self, arrival: _Arrival) -> None:
+        if self._stopped:
+            return
+        txn = Transaction(
+            txn_class=self._by_name[arrival.class_name],
+            arrived_at=self.sim.now,
+        )
+        self.transactions.append(txn)
+        self.injected += 1
+        self.sim.spawn(
+            self.handler(txn), name=f"replay-{self.injected}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceDriver(trace={self.trace!r}, injected={self.injected})"

@@ -1,0 +1,269 @@
+"""Transaction classes of the 3-tier web-service workload.
+
+The paper's workload "models the transactions among a manufacturing company,
+its clients and suppliers" and reports four response-time indicators:
+manufacturing, dealer purchase, dealer manage, and dealer browse autos
+(Section 4).  We model those four classes explicitly, in the style of the
+SPECjAppServer family the description matches:
+
+* **dealer** transactions (purchase / manage / browse) are web
+  interactions: one web-queue thread carries the request end to end —
+  parsing, session work, client I/O, business logic and the synchronous
+  database calls;
+* **manufacturing** work orders pass through the web front end and then run
+  their business stage on the dedicated mfg queue;
+* a **miscellaneous** background class (work-order scheduling, supplier
+  traffic — "the rest") runs on the default queue, is injected directly
+  (no web front end), has no response-time indicator of its own, but counts
+  toward effective throughput.  This is why the paper's Figure 7 valley
+  floor passes through default = 0: dealer response times never *require*
+  default threads; the default queue couples to them only through shared
+  CPU;
+* dealer *purchase* transactions additionally serialize on a shared
+  inventory lock (order/stock consistency), the classic app-server
+  scalability hazard.
+
+Each class carries a response-time constraint ("the workload itself ...
+specifies four response time constraints"); the throughput indicator counts
+only transactions meeting their constraint — effective transactions per
+second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .distributions import Distribution, Erlang, Hyperexponential, LogNormal, Uniform
+
+__all__ = [
+    "MFG_QUEUE",
+    "WEB_QUEUE",
+    "DEFAULT_QUEUE",
+    "TransactionClass",
+    "Transaction",
+    "standard_mix",
+]
+
+#: Queue identifiers (the paper's three work queues).
+MFG_QUEUE = "mfg"
+WEB_QUEUE = "web"
+DEFAULT_QUEUE = "default"
+
+_DOMAIN_QUEUES = (MFG_QUEUE, DEFAULT_QUEUE)
+
+
+@dataclass(frozen=True)
+class TransactionClass:
+    """Static description of one transaction type."""
+
+    #: Class name; also the response-time indicator label.
+    name: str
+    #: Fraction of the injected load belonging to this class.
+    mix_weight: float
+    #: CPU burst in the web front-end stage (seconds); unused when the
+    #: class skips the web front end.
+    web_cpu: Distribution
+    #: Non-CPU time holding the web thread (client/network I/O, session).
+    web_io: Distribution
+    #: Which queue runs the business stage: ``mfg``, ``default``, or ``None``
+    #: when the business work runs inside the web-queue thread itself.
+    domain_queue: Optional[str]
+    #: CPU burst in the business stage.
+    domain_cpu: Distribution
+    #: Database service time per call (the domain thread is held throughout).
+    db_service: Distribution
+    #: Number of synchronous database calls in the business stage.
+    db_calls: int
+    #: Response-time constraint (seconds); feeds effective throughput.
+    deadline: float
+    #: Whether the business stage serializes on the shared inventory lock.
+    uses_inventory_lock: bool = False
+    #: CPU burst executed while holding the inventory lock.
+    lock_cpu: Optional[Distribution] = None
+    #: Whether the transaction enters through the web front end.
+    has_web_stage: bool = True
+    #: Which database partition serves this class: the shared dealer/order
+    #: store or the manufacturing domain's own partition.
+    db_partition: str = "shared"
+
+    def __post_init__(self):
+        if not 0.0 < self.mix_weight <= 1.0:
+            raise ValueError(
+                f"mix_weight must lie in (0, 1], got {self.mix_weight}"
+            )
+        if self.domain_queue is not None and self.domain_queue not in _DOMAIN_QUEUES:
+            raise ValueError(
+                f"domain_queue must be one of {_DOMAIN_QUEUES} or None, "
+                f"got {self.domain_queue!r}"
+            )
+        if not self.has_web_stage and self.domain_queue is None:
+            raise ValueError(
+                f"{self.name}: a class must have a web stage, a domain "
+                "queue, or both"
+            )
+        if self.db_partition not in ("shared", "mfg"):
+            raise ValueError(
+                f"db_partition must be 'shared' or 'mfg', "
+                f"got {self.db_partition!r}"
+            )
+        if self.db_calls < 0:
+            raise ValueError(f"db_calls must be non-negative, got {self.db_calls}")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.uses_inventory_lock and self.lock_cpu is None:
+            raise ValueError("uses_inventory_lock requires a lock_cpu distribution")
+
+    def mean_cpu_demand(self) -> float:
+        """Expected total CPU seconds per transaction (contention-free)."""
+        demand = self.domain_cpu.mean()
+        if self.has_web_stage:
+            demand += self.web_cpu.mean()
+        if self.uses_inventory_lock:
+            demand += self.lock_cpu.mean()
+        return demand
+
+    def mean_business_hold(self) -> float:
+        """Expected business-stage thread time: CPU + DB (contention-free)."""
+        hold = self.domain_cpu.mean() + self.db_calls * self.db_service.mean()
+        if self.uses_inventory_lock:
+            hold += self.lock_cpu.mean()
+        return hold
+
+    def mean_web_hold(self) -> float:
+        """Expected web-queue thread hold (contention-free).
+
+        Classes whose business stage runs inside the web thread
+        (``domain_queue is None``) hold it for the business work too.
+        """
+        if not self.has_web_stage:
+            return 0.0
+        hold = self.web_cpu.mean() + self.web_io.mean()
+        if self.domain_queue is None:
+            hold += self.mean_business_hold()
+        return hold
+
+
+@dataclass
+class Transaction:
+    """One in-flight, completed or abandoned request."""
+
+    txn_class: TransactionClass
+    arrived_at: float
+    completed_at: Optional[float] = None
+    #: Set when the driver abandoned the request (queue-wait timeout).
+    abandoned_at: Optional[float] = None
+    #: Per-stage timestamps for detailed latency breakdowns.
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the transaction finished all stages (not abandoned)."""
+        return self.completed_at is not None
+
+    @property
+    def is_abandoned(self) -> bool:
+        """Whether the request timed out waiting for a thread."""
+        return self.abandoned_at is not None
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end latency; raises if still in flight."""
+        if self.completed_at is None:
+            raise ValueError("transaction has not completed")
+        return self.completed_at - self.arrived_at
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the response-time constraint was satisfied."""
+        return self.response_time <= self.txn_class.deadline
+
+
+def standard_mix(
+    deadline_scale: float = 1.0,
+) -> List[TransactionClass]:
+    """The canonical five-class mix used throughout the experiments.
+
+    Four indicator classes (manufacturing plus the three dealer
+    interactions) and one background class on the default queue.  Parameters
+    are chosen so that, on the 8-core reference machine at the paper's
+    injection rate of 560 requests/s:
+
+    * the web queue needs ~15 threads (sweeping web 14..22 crosses its knee),
+    * the default queue needs ~9 threads (sweeping default 0..20 crosses its
+      knee for the background class's deadline),
+    * manufacturing fits comfortably in mfg = 16, and
+    * base CPU demand is ~6.5 of 8 cores, so oversized pools push the
+      machine into the contention regime.
+
+    ``deadline_scale`` loosens (>1) or tightens (<1) every class's
+    response-time constraint — useful for sensitivity studies.
+    """
+    if deadline_scale <= 0:
+        raise ValueError(f"deadline_scale must be positive, got {deadline_scale}")
+    dealer_common = dict(
+        web_cpu=Hyperexponential(means=[0.0038, 0.022], weights=[0.85, 0.15]),
+        web_io=Uniform(low=0.0115, high=0.0195),
+        domain_queue=None,
+        domain_cpu=Erlang(mean=0.0035, k=4),
+        db_service=LogNormal(mean=0.010, sigma=0.4),
+        db_calls=1,
+    )
+    return [
+        TransactionClass(
+            name="manufacturing",
+            mix_weight=0.20,
+            web_cpu=Erlang(mean=0.0045, k=4),
+            web_io=Uniform(low=0.0115, high=0.0195),
+            domain_queue=MFG_QUEUE,
+            domain_cpu=Erlang(mean=0.014, k=4),
+            db_service=LogNormal(mean=0.015, sigma=0.4),
+            db_calls=2,
+            deadline=0.180 * deadline_scale,
+            db_partition="mfg",
+        ),
+        TransactionClass(
+            name="dealer_purchase",
+            mix_weight=0.12,
+            deadline=0.140 * deadline_scale,
+            uses_inventory_lock=True,
+            lock_cpu=Erlang(mean=0.0012, k=2),
+            **{**dealer_common, "db_service": LogNormal(mean=0.0065, sigma=0.4)},
+        ),
+        TransactionClass(
+            name="dealer_manage",
+            mix_weight=0.12,
+            deadline=0.095 * deadline_scale,
+            **dealer_common,
+        ),
+        TransactionClass(
+            name="dealer_browse",
+            mix_weight=0.31,
+            deadline=0.115 * deadline_scale,
+            **dealer_common,
+        ),
+        TransactionClass(
+            name="misc_background",
+            mix_weight=0.25,
+            web_cpu=Erlang(mean=0.001, k=4),
+            web_io=Uniform(low=0.001, high=0.002),
+            domain_queue=DEFAULT_QUEUE,
+            domain_cpu=Erlang(mean=0.003, k=4),
+            db_service=LogNormal(mean=0.030, sigma=0.4),
+            db_calls=2,
+            deadline=0.095 * deadline_scale,
+            has_web_stage=False,
+        ),
+    ]
+
+
+def validate_mix(classes: Sequence[TransactionClass]) -> None:
+    """Check that class weights form a probability mix."""
+    if not classes:
+        raise ValueError("transaction mix must contain at least one class")
+    total = sum(c.mix_weight for c in classes)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"mix weights must sum to 1, got {total}")
+    names = [c.name for c in classes]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate class names in mix: {names}")

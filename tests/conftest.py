@@ -1,0 +1,47 @@
+"""Shared fixtures: small, fast instances of the core objects.
+
+Tests never run full-length simulations or long NN trainings; the fixtures
+here provide scaled-down versions that exercise the same code paths in
+milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload.service import ThreeTierWorkload, WorkloadConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_regression_data(rng):
+    """A small smooth non-linear regression problem: 30 samples, 3 -> 2."""
+    x = rng.uniform(-1.0, 1.0, size=(30, 3))
+    y = np.column_stack(
+        [
+            np.sin(2.0 * x[:, 0]) + 0.5 * x[:, 1] ** 2,
+            x[:, 0] - x[:, 2] + 0.2 * x[:, 1] * x[:, 2],
+        ]
+    )
+    return x, y
+
+
+@pytest.fixture
+def fast_workload():
+    """A short-window simulator run (sub-second wall time per config)."""
+    return ThreeTierWorkload(warmup=0.5, duration=2.0, seed=7)
+
+
+@pytest.fixture
+def nominal_config():
+    """A healthy operating point of the 3-tier system."""
+    return WorkloadConfig(
+        injection_rate=400,
+        default_threads=14,
+        mfg_threads=16,
+        web_threads=18,
+    )

@@ -1,0 +1,227 @@
+"""Response surfaces and the Section 5 shape taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.surface import ResponseSurface, sweep
+from repro.analysis.topology import (
+    SurfaceKind,
+    classify_profile,
+    classify_surface,
+)
+
+
+def make_surface(z, rows=None, cols=None, **kwargs):
+    z = np.asarray(z, dtype=float)
+    rows = np.arange(z.shape[0]) if rows is None else np.asarray(rows)
+    cols = np.arange(z.shape[1]) if cols is None else np.asarray(cols)
+    defaults = dict(
+        row_param="default_threads",
+        col_param="web_threads",
+        row_values=rows,
+        col_values=cols,
+        z=z,
+        indicator="test",
+        fixed={"injection_rate": 560, "mfg_threads": 16},
+    )
+    defaults.update(kwargs)
+    return ResponseSurface(**defaults)
+
+
+def grid_from(fn, rows, cols):
+    return np.array([[fn(r, c) for c in cols] for r in rows])
+
+
+class _GridModel:
+    """Deterministic 4-in/1-out model for sweep tests."""
+
+    def predict(self, x):
+        x = np.asarray(x)
+        # One output column: a function of default (col 1) and web (col 3).
+        z = (x[:, 1] - 10.0) ** 2 + (x[:, 3] - 18.0) ** 2
+        return z.reshape(-1, 1)
+
+
+class TestSweep:
+    def test_grid_layout(self):
+        surface = sweep(
+            _GridModel(),
+            indicator_index=0,
+            indicator_name="quadratic",
+            row_param="default_threads",
+            row_values=[8, 10, 12],
+            col_param="web_threads",
+            col_values=[16, 18, 20],
+            fixed={"injection_rate": 560, "mfg_threads": 16},
+        )
+        assert surface.shape == (3, 3)
+        # Center of the bowl.
+        assert surface.z[1, 1] == pytest.approx(0.0)
+        assert surface.minimum() == (10.0, 18.0, 0.0)
+
+    def test_missing_fixed_value_rejected(self):
+        with pytest.raises(ValueError, match="fixed values missing"):
+            sweep(
+                _GridModel(),
+                0,
+                "z",
+                "default_threads",
+                [1, 2],
+                "web_threads",
+                [1, 2],
+                fixed={"injection_rate": 560},
+            )
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown swept"):
+            sweep(
+                _GridModel(),
+                0,
+                "z",
+                "turbo_mode",
+                [1],
+                "web_threads",
+                [1],
+                fixed={},
+            )
+
+
+class TestResponseSurface:
+    def test_caption_tuple_matches_paper_format(self):
+        surface = make_surface(np.zeros((2, 2)))
+        assert surface.caption_tuple() == "(560, x, 16, y)"
+
+    def test_extrema(self):
+        z = np.array([[5.0, 1.0], [9.0, 2.0]])
+        surface = make_surface(z, rows=[10, 20], cols=[14, 16])
+        assert surface.minimum() == (10.0, 16.0, 1.0)
+        assert surface.maximum() == (20.0, 14.0, 9.0)
+
+    def test_slices(self):
+        z = np.array([[1.0, 2.0], [3.0, 4.0]])
+        surface = make_surface(z, rows=[0, 10], cols=[5, 6])
+        np.testing.assert_allclose(surface.row_slice(10), [3.0, 4.0])
+        np.testing.assert_allclose(surface.col_slice(6), [2.0, 4.0])
+        # Nearest-value lookup.
+        np.testing.assert_allclose(surface.row_slice(9.4), [3.0, 4.0])
+
+    def test_valley_path_tracks_per_row_minimum(self):
+        rows = [0, 1, 2]
+        cols = [0, 1, 2, 3]
+        z = grid_from(lambda r, c: (c - r) ** 2, rows, cols)
+        surface = make_surface(z, rows=rows, cols=cols)
+        path = surface.valley_path()
+        assert [p[1] for p in path] == [0.0, 1.0, 2.0]
+        assert all(p[2] == 0.0 for p in path)
+
+    def test_relative_span(self):
+        surface = make_surface(np.array([[1.0, 10.0]]))
+        assert surface.relative_span() == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_surface(np.zeros((2, 2)), rows=[1, 2, 3])
+
+
+class TestClassifyProfile:
+    def test_flat(self):
+        assert classify_profile(np.array([1.0, 1.001, 0.999])) == SurfaceKind.FLAT
+
+    def test_valley(self):
+        assert (
+            classify_profile(np.array([5.0, 1.0, 4.0])) == SurfaceKind.VALLEY
+        )
+
+    def test_hill(self):
+        assert classify_profile(np.array([1.0, 5.0, 2.0])) == SurfaceKind.HILL
+
+    def test_slope(self):
+        assert (
+            classify_profile(np.array([1.0, 2.0, 3.0, 4.0])) == SurfaceKind.SLOPE
+        )
+
+    def test_margin_suppresses_noise_dips(self):
+        # A 1% dip on a otherwise monotone profile is not a valley.
+        values = np.array([10.0, 5.0, 4.95, 5.05, 1.0])
+        assert classify_profile(values, margin=0.10) == SurfaceKind.SLOPE
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            classify_profile(np.array([1.0, 2.0]))
+
+
+class TestClassifySurface:
+    ROWS = np.arange(0, 21, 2)
+    COLS = np.arange(14, 23)
+
+    def test_flat_surface(self):
+        surface = make_surface(np.ones((5, 5)))
+        assert classify_surface(surface).kind == SurfaceKind.FLAT
+
+    def test_parallel_slopes_identifies_insensitive_param(self):
+        # Varies only with web (columns): the paper's Figure 4 situation.
+        z = grid_from(lambda r, c: 10.0 - 0.4 * c, self.ROWS, self.COLS)
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        result = classify_surface(surface)
+        assert result.kind == SurfaceKind.PARALLEL_SLOPES
+        assert result.insensitive_param == "default_threads"
+
+    def test_valley_along_columns(self):
+        # A trough in the web direction whose floor drifts with default —
+        # the paper's Figure 7 geometry.
+        z = grid_from(
+            lambda r, c: 1.0 + 0.5 * (c - 18.0 - r * 0.1) ** 2,
+            self.ROWS,
+            self.COLS,
+        )
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        result = classify_surface(surface)
+        assert result.kind == SurfaceKind.VALLEY
+        assert result.along_param == "web_threads"
+
+    def test_hill_with_interior_peak(self):
+        # A dome peaked at (10, 18) — the paper's Figure 8 geometry.
+        z = grid_from(
+            lambda r, c: 500.0 - 2.0 * (r - 10.0) ** 2 - 3.0 * (c - 18.0) ** 2,
+            self.ROWS,
+            self.COLS,
+        )
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        assert classify_surface(surface).kind == SurfaceKind.HILL
+
+    def test_plateau_with_noise_bump_is_not_a_hill(self):
+        z = np.full((11, 9), 100.0)
+        z[5, 4] = 101.0  # interior bump barely above a flat plateau
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        assert classify_surface(surface).kind != SurfaceKind.HILL
+
+    def test_diagonal_slope(self):
+        z = grid_from(lambda r, c: r + c, self.ROWS, self.COLS)
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        assert classify_surface(surface).kind == SurfaceKind.SLOPE
+
+    def test_log_scale_reveals_structure_next_to_walls(self):
+        # A 10x wall at low web plus a mild (35%) interior valley whose
+        # floor drifts with default: linear classification sees only the
+        # wall, log-scale sees the valley.
+        def fn(r, c):
+            wall = 10.0 if c == 14 else 0.0
+            return 1.0 + wall + 0.35 * abs(c - 18.0) / 4.0 + 0.08 * r
+
+        z = grid_from(fn, self.ROWS, self.COLS)
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        linear = classify_surface(surface, margin=0.05)
+        logarithmic = classify_surface(surface, margin=0.05, log_scale=True)
+        assert logarithmic.kind == SurfaceKind.VALLEY
+        assert linear.kind != SurfaceKind.VALLEY
+
+    def test_log_scale_requires_positive(self):
+        surface = make_surface(np.array([[1.0, -1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            classify_surface(surface, log_scale=True)
+
+    def test_scores_reported(self):
+        z = grid_from(lambda r, c: r + c, self.ROWS, self.COLS)
+        surface = make_surface(z, rows=self.ROWS, cols=self.COLS)
+        result = classify_surface(surface)
+        assert "variation_along_row_param" in result.scores

@@ -1,0 +1,325 @@
+"""Sensitivity analysis, configuration advisor, PCA, and text plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pca import PCA, subset_benchmarks
+from repro.analysis.plots import (
+    render_series,
+    render_surface,
+    series_to_csv,
+    surface_to_csv,
+)
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.analysis.surface import ResponseSurface
+from repro.analysis.tuning import (
+    ConfigurationAdvisor,
+    Recommendation,
+    ScoringFunction,
+)
+from repro.workload.sampler import ConfigSpace, ParameterRange
+from repro.workload.service import OUTPUT_NAMES, WorkloadConfig
+
+
+class _BowlModel:
+    """5-output model: RTs form a bowl around (rate 500, d 10, m 16, w 18);
+    throughput peaks there."""
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=float)
+        distance = (
+            ((x[:, 0] - 500.0) / 100.0) ** 2
+            + ((x[:, 1] - 10.0) / 5.0) ** 2
+            + ((x[:, 2] - 16.0) / 5.0) ** 2
+            + ((x[:, 3] - 18.0) / 4.0) ** 2
+        )
+        rt = 0.05 + 0.05 * distance
+        tps = 500.0 - 50.0 * distance
+        return np.column_stack([rt, rt, rt, rt, tps])
+
+
+class _MfgInsensitiveModel:
+    """Manufacturing RT ignores default_threads; others react."""
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=float)
+        mfg = 0.08 + 0.001 * (22.0 - x[:, 3])
+        dealer = 0.05 + 0.002 * x[:, 1] + 0.001 * (22.0 - x[:, 3])
+        tps = 400.0 + x[:, 1] * 2.0
+        return np.column_stack([mfg, dealer, dealer, dealer, tps])
+
+
+BASELINE = {
+    "injection_rate": 500.0,
+    "default_threads": 10.0,
+    "mfg_threads": 16.0,
+    "web_threads": 18.0,
+}
+
+SWEEPS = {
+    "default_threads": np.arange(2, 23, 2),
+    "web_threads": np.arange(14, 23),
+}
+
+
+class TestSensitivity:
+    def test_detects_insensitive_parameter(self):
+        report = sensitivity_analysis(_MfgInsensitiveModel(), BASELINE, SWEEPS)
+        insensitive = report.insensitive_parameters("manufacturing_rt")
+        assert "default_threads" in insensitive
+        assert "default_threads" not in report.insensitive_parameters(
+            "dealer_browse_rt", threshold=0.05
+        )
+
+    def test_ordering_by_influence(self):
+        report = sensitivity_analysis(_MfgInsensitiveModel(), BASELINE, SWEEPS)
+        ranked = report.for_indicator("effective_tps")
+        assert ranked[0].parameter == "default_threads"
+
+    def test_shapes_labelled(self):
+        report = sensitivity_analysis(_BowlModel(), BASELINE, SWEEPS)
+        entry = [
+            e
+            for e in report.for_indicator("effective_tps")
+            if e.parameter == "default_threads"
+        ][0]
+        assert entry.shape == "hill"
+
+    def test_text_rendering(self):
+        report = sensitivity_analysis(_BowlModel(), BASELINE, SWEEPS)
+        text = report.to_text()
+        assert "default_threads" in text and "web_threads" in text
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_analysis(_BowlModel(), {}, SWEEPS)
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_analysis(
+                _BowlModel(), BASELINE, {"gpu_threads": [1, 2, 3]}
+            )
+
+    def test_short_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_analysis(
+                _BowlModel(), BASELINE, {"web_threads": [1, 2]}
+            )
+
+
+class TestScoringFunction:
+    def test_rewards_throughput(self):
+        scoring = ScoringFunction()
+        low = scoring.score({"effective_tps": 100.0})
+        high = scoring.score({"effective_tps": 400.0})
+        assert high > low
+
+    def test_penalizes_violations(self):
+        scoring = ScoringFunction(response_limits={"dealer_browse_rt": 0.1})
+        ok = scoring.score({"effective_tps": 400.0, "dealer_browse_rt": 0.05})
+        bad = scoring.score({"effective_tps": 400.0, "dealer_browse_rt": 0.30})
+        assert ok > bad
+        assert scoring.satisfied(
+            {"effective_tps": 400.0, "dealer_browse_rt": 0.05}
+        )
+        assert not scoring.satisfied(
+            {"effective_tps": 400.0, "dealer_browse_rt": 0.30}
+        )
+
+    def test_missing_indicator_rejected(self):
+        scoring = ScoringFunction(response_limits={"dealer_browse_rt": 0.1})
+        with pytest.raises(KeyError):
+            scoring.score({"effective_tps": 1.0})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoringFunction(response_limits={"x": 0.0})
+        with pytest.raises(ValueError):
+            ScoringFunction(penalty_weight=-1.0)
+
+
+SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 400, 600),
+        ParameterRange("default_threads", 2, 20),
+        ParameterRange("mfg_threads", 10, 22),
+        ParameterRange("web_threads", 14, 22),
+    ]
+)
+
+
+class TestAdvisor:
+    def test_recommends_near_the_true_optimum(self):
+        advisor = ConfigurationAdvisor(_BowlModel())
+        best = advisor.recommend(SPACE, levels=7, top_k=1)[0]
+        assert best.config.default_threads == pytest.approx(10, abs=3)
+        assert best.config.web_threads == pytest.approx(18, abs=2)
+
+    def test_limit_feasibility_flagged(self):
+        scoring = ScoringFunction(
+            response_limits={"dealer_browse_rt": 0.08}
+        )
+        advisor = ConfigurationAdvisor(_BowlModel(), scoring=scoring)
+        ranked = advisor.evaluate(
+            [
+                WorkloadConfig(500, 10, 16, 18),  # bowl center: fast
+                WorkloadConfig(600, 2, 22, 14),  # far corner: slow
+            ]
+        )
+        assert ranked[0].meets_limits
+        assert not ranked[-1].meets_limits
+
+    def test_plan_experiments_budget_and_diversity(self):
+        advisor = ConfigurationAdvisor(_BowlModel())
+        plan = advisor.plan_experiments(SPACE, budget=5, levels=5)
+        assert len(plan) == 5
+        # All chosen configurations differ.
+        assert len({p.config for p in plan}) == 5
+
+    def test_plan_experiments_beats_blind_corner(self):
+        """The model-guided plan concentrates where performance is good —
+        the paper's 'radically reducing ineffectual experiments'."""
+        advisor = ConfigurationAdvisor(_BowlModel())
+        plan = advisor.plan_experiments(SPACE, budget=3, levels=5)
+        worst_corner = _BowlModel().predict(
+            np.array([[600.0, 2.0, 22.0, 14.0]])
+        )[0, 4]
+        assert all(p.predicted["effective_tps"] > worst_corner for p in plan)
+
+    def test_to_text(self):
+        advisor = ConfigurationAdvisor(_BowlModel())
+        text = advisor.to_text(advisor.recommend(SPACE, levels=3, top_k=3))
+        assert "rank" in text and "score" in text
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationAdvisor(_BowlModel()).evaluate([])
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationAdvisor(_BowlModel()).plan_experiments(SPACE, budget=0)
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        x = rng.normal(size=(100, 6))
+        pca = PCA().fit(x)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_variance_ratios_sorted_and_sum_to_one(self, rng):
+        x = rng.normal(size=(80, 5)) * [5.0, 3.0, 1.0, 0.5, 0.1]
+        pca = PCA(correlation=False).fit(x)
+        ratios = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratios) <= 1e-12)
+        assert ratios.sum() == pytest.approx(1.0)
+
+    def test_recovers_dominant_direction(self, rng):
+        t = rng.normal(size=(200, 1))
+        x = np.hstack([t, 2 * t, -t]) + rng.normal(scale=0.01, size=(200, 3))
+        pca = PCA(correlation=False).fit(x)
+        assert pca.explained_variance_ratio_[0] > 0.99
+
+    def test_transform_inverse_round_trip(self, rng):
+        x = rng.normal(size=(40, 4))
+        pca = PCA().fit(x)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(x)), x, atol=1e-8
+        )
+
+    def test_n_components_truncation(self, rng):
+        x = rng.normal(size=(40, 6))
+        pca = PCA(n_components=2).fit(x)
+        assert pca.transform(x).shape == (40, 2)
+
+    def test_n_components_for_variance(self, rng):
+        x = rng.normal(size=(100, 4)) * [10.0, 1.0, 0.1, 0.01]
+        pca = PCA(correlation=False).fit(x)
+        assert pca.n_components_for_variance(0.95) <= 2
+        assert pca.n_components_for_variance(1.0) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.zeros((2, 2)))
+
+
+class TestSubsetting:
+    def test_picks_spread_out_representatives(self, rng):
+        # Three tight clusters; a 3-subset should take one from each.
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        points = np.vstack(
+            [c + rng.normal(scale=0.1, size=(10, 2)) for c in centers]
+        )
+        chosen = subset_benchmarks(points, 3)
+        clusters = {int(i) // 10 for i in chosen}
+        assert clusters == {0, 1, 2}
+
+    def test_k_bounds(self, rng):
+        points = rng.normal(size=(5, 2))
+        assert len(subset_benchmarks(points, 5)) == 5
+        with pytest.raises(ValueError):
+            subset_benchmarks(points, 6)
+        with pytest.raises(ValueError):
+            subset_benchmarks(points, 0)
+
+    def test_indices_unique(self, rng):
+        points = rng.normal(size=(30, 4))
+        chosen = subset_benchmarks(points, 10)
+        assert len(set(chosen)) == 10
+
+
+def surface_fixture():
+    return ResponseSurface(
+        row_param="default_threads",
+        col_param="web_threads",
+        row_values=np.array([0.0, 10.0, 20.0]),
+        col_values=np.array([14.0, 18.0, 22.0]),
+        z=np.array([[5.0, 1.0, 2.0], [4.0, 0.5, 1.5], [6.0, 2.0, 3.0]]),
+        indicator="dealer_purchase_rt",
+        fixed={"injection_rate": 560, "mfg_threads": 16},
+    )
+
+
+class TestPlots:
+    def test_render_surface_contains_axes(self):
+        text = render_surface(surface_fixture())
+        assert "dealer_purchase_rt" in text
+        assert "14" in text and "22" in text
+
+    def test_render_series_marks_points(self):
+        text = render_series(
+            np.array([1.0, 2.0, 3.0]), np.array([1.1, 1.9, 3.0]), title="t"
+        )
+        assert "o" in text and ("x" in text or "*" in text)
+        assert text.count("|") >= 6
+
+    def test_render_series_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series(np.zeros(3), np.zeros(4))
+
+    def test_surface_csv(self, tmp_path):
+        path = surface_to_csv(surface_fixture(), tmp_path / "s.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "default_threads,web_threads,dealer_purchase_rt"
+        assert len(lines) == 1 + 9
+
+    def test_series_csv(self, tmp_path):
+        actual = np.array([[1.0, 10.0], [2.0, 20.0]])
+        predicted = actual * 1.1
+        path = series_to_csv(
+            actual, predicted, tmp_path / "f.csv", labels=["a", "b"]
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "sample,a_actual,a_predicted,b_actual,b_predicted"
+        assert len(lines) == 3
+
+    def test_series_csv_label_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            series_to_csv(
+                np.zeros((2, 2)), np.zeros((2, 2)), tmp_path / "x.csv",
+                labels=["only-one"],
+            )

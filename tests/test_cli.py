@@ -1,0 +1,52 @@
+"""The repro-characterize command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.samples == 50
+        assert args.scenario == "paper"
+        assert args.backend == "simulator"
+
+    def test_scenario_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scenario", "black_friday"])
+
+    def test_injection_range(self):
+        args = build_parser().parse_args(["--injection", "300", "500"])
+        assert args.injection == [300.0, 500.0]
+
+
+class TestMain:
+    def test_fast_analytic_run_writes_report(self, tmp_path):
+        output = tmp_path / "report.md"
+        code = main(
+            [
+                "--backend",
+                "analytic",
+                "--fast",
+                "--samples",
+                "15",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "# Workload characterization report" in text
+        assert "Pareto frontier" in text
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--samples", "5"])
+
+    def test_inverted_injection_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["--backend", "analytic", "--injection", "500", "400",
+                 "--samples", "12", "--fast"]
+            )

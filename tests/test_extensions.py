@@ -1,0 +1,295 @@
+"""Jacobians/attribution, ensembles, bootstrap CIs, learning curves, Pareto."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attribution import attribute
+from repro.analysis.pareto import pareto_frontier
+from repro.model_selection.bootstrap import bootstrap_cv_errors
+from repro.model_selection.cross_validation import cross_validate
+from repro.model_selection.learning_curve import learning_curve
+from repro.models.ensemble import NeuralEnsemble
+from repro.models.linear import LinearWorkloadModel
+from repro.models.neural import NeuralWorkloadModel
+from repro.nn.jacobian import finite_difference_jacobian, input_jacobian
+from repro.nn.mlp import MLP
+from repro.workload.service import WorkloadConfig
+
+
+def smooth_problem(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(1.0, 5.0, size=(n, 3))
+    y = np.column_stack(
+        [x[:, 0] ** 2 + x[:, 1], 3.0 * x[:, 2] + 0.5 * x[:, 0] * x[:, 1]]
+    )
+    return x, y
+
+
+class TestJacobian:
+    @pytest.mark.parametrize("activation", ["logistic", "tanh", "softplus"])
+    def test_matches_finite_differences(self, activation, rng):
+        net = MLP([3, 7, 2], hidden_activation=activation, seed=1)
+        x = rng.normal(size=(5, 3))
+        exact = input_jacobian(net, x)
+        numeric = finite_difference_jacobian(net.predict, x)
+        np.testing.assert_allclose(exact, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_shape(self, rng):
+        net = MLP([4, 6, 3], seed=0)
+        assert input_jacobian(net, rng.normal(size=(7, 4))).shape == (7, 3, 4)
+
+    def test_single_sample(self, rng):
+        net = MLP([2, 4, 1], seed=0)
+        assert input_jacobian(net, np.zeros(2)).shape == (1, 1, 2)
+
+    def test_linear_network_jacobian_is_its_weights(self):
+        net = MLP([3, 2], seed=0)  # no hidden layer: y = xW + b
+        jacobian = input_jacobian(net, np.zeros((1, 3)))
+        np.testing.assert_allclose(jacobian[0], net.layers[0].weights.T)
+
+
+class TestAttribution:
+    def test_physical_units_recovered(self):
+        x, y = smooth_problem()
+        model = NeuralWorkloadModel(
+            hidden=(12,), error_threshold=1e-4, max_epochs=6000, seed=0
+        ).fit(x, y)
+        report = attribute(
+            model, x[:3], input_names=list("abc"), output_names=["u", "v"]
+        )
+        numeric = finite_difference_jacobian(model.predict, x[:3])
+        np.testing.assert_allclose(
+            report.jacobian, numeric, rtol=1e-4, atol=1e-5
+        )
+
+    def test_effect_lookup_and_ranking(self):
+        x, y = smooth_problem()
+        model = NeuralWorkloadModel(
+            hidden=(12,), error_threshold=1e-4, max_epochs=6000, seed=0
+        ).fit(x, y)
+        report = attribute(
+            model,
+            np.array([[3.0, 3.0, 3.0]]),
+            input_names=list("abc"),
+            output_names=["u", "v"],
+        )
+        # du/da ~ 2a = 6 dominates du/db ~ 1 and du/dc ~ 0.
+        ranked = report.ranked_effects("u")
+        assert list(ranked)[0] == "a"
+        assert report.effect("u", "a") == pytest.approx(6.0, rel=0.3)
+        assert "Local effects" in report.to_text()
+
+    def test_requires_fit_and_joint(self):
+        model = NeuralWorkloadModel(hidden=(4,))
+        with pytest.raises(RuntimeError):
+            attribute(model, np.zeros((1, 3)))
+        x, y = smooth_problem(n=20)
+        separate = NeuralWorkloadModel(
+            hidden=(4,), joint=False, max_epochs=5, seed=0
+        ).fit(x, y)
+        with pytest.raises(ValueError, match="joint"):
+            attribute(separate, x[:1])
+
+
+class TestEnsemble:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        x, y = smooth_problem()
+        ensemble = NeuralEnsemble(
+            n_members=3,
+            seed=0,
+            hidden=(10,),
+            error_threshold=0.01,
+            max_epochs=2000,
+        )
+        return ensemble.fit(x, y), x, y
+
+    def test_members_differ(self, fitted):
+        ensemble, x, _ = fitted
+        a = ensemble.members_[0].predict(x)
+        b = ensemble.members_[1].predict(x)
+        assert not np.allclose(a, b)
+
+    def test_mean_is_member_average(self, fitted):
+        ensemble, x, _ = fitted
+        prediction = ensemble.predict_with_uncertainty(x)
+        np.testing.assert_allclose(
+            prediction.mean, prediction.members.mean(axis=0)
+        )
+        np.testing.assert_allclose(ensemble.predict(x), prediction.mean)
+
+    def test_interval_brackets_mean(self, fitted):
+        ensemble, x, _ = fitted
+        prediction = ensemble.predict_with_uncertainty(x)
+        lower, upper = prediction.interval(2.0)
+        assert np.all(lower <= prediction.mean)
+        assert np.all(prediction.mean <= upper)
+
+    def test_uncertainty_grows_out_of_distribution(self, fitted):
+        ensemble, x, _ = fitted
+        inside = ensemble.predict_with_uncertainty(x)
+        outside = ensemble.predict_with_uncertainty(x + 10.0)  # far away
+        assert (
+            outside.relative_spread.mean() > inside.relative_spread.mean()
+        )
+
+    def test_hotspots_prefer_uncertain_inputs(self, fitted):
+        ensemble, x, _ = fitted
+        probe = np.vstack([x[:5], x[:1] + 10.0])  # last row is far out
+        hotspots = ensemble.disagreement_hotspots(probe, top_k=1)
+        assert hotspots == [5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeuralEnsemble(n_members=1)
+
+    def test_model_kwargs_forwarded(self):
+        ensemble = NeuralEnsemble(n_members=2, seed=0, hidden=(5,))
+        x, y = smooth_problem(n=15)
+        ensemble.model_kwargs["max_epochs"] = 3
+        ensemble.fit(x, y)
+        assert all(m.hidden == (5,) for m in ensemble.members_)
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def cv_report(self):
+        x, y = smooth_problem(n=60)
+        return cross_validate(
+            lambda t: LinearWorkloadModel(),
+            x,
+            y + np.random.default_rng(0).normal(scale=0.3, size=y.shape),
+            k=5,
+            seed=0,
+            output_names=["u", "v"],
+        )
+
+    def test_interval_contains_point_estimate(self, cv_report):
+        result = bootstrap_cv_errors(cv_report, n_resamples=300, seed=0)
+        for interval in result.per_indicator + [result.overall]:
+            assert interval.lower <= interval.estimate <= interval.upper
+
+    def test_higher_confidence_wider_interval(self, cv_report):
+        narrow = bootstrap_cv_errors(
+            cv_report, n_resamples=300, confidence=0.5, seed=0
+        )
+        wide = bootstrap_cv_errors(
+            cv_report, n_resamples=300, confidence=0.99, seed=0
+        )
+        assert (
+            wide.overall.upper - wide.overall.lower
+            > narrow.overall.upper - narrow.overall.lower
+        )
+
+    def test_reproducible(self, cv_report):
+        a = bootstrap_cv_errors(cv_report, n_resamples=100, seed=3)
+        b = bootstrap_cv_errors(cv_report, n_resamples=100, seed=3)
+        assert a.overall == b.overall
+
+    def test_text(self, cv_report):
+        text = bootstrap_cv_errors(cv_report, n_resamples=100, seed=0).to_text()
+        assert "CI" in text and "overall" in text
+
+    def test_validation(self, cv_report):
+        with pytest.raises(ValueError):
+            bootstrap_cv_errors(cv_report, n_resamples=1)
+        with pytest.raises(ValueError):
+            bootstrap_cv_errors(cv_report, confidence=1.0)
+
+
+class TestLearningCurve:
+    def test_error_decreases_with_more_samples(self):
+        x, y = smooth_problem(n=120)
+        noisy = y + np.random.default_rng(1).normal(scale=0.5, size=y.shape)
+        curve = learning_curve(
+            lambda t: LinearWorkloadModel(),
+            x,
+            noisy,
+            sizes=[10, 40, 120],
+            k=5,
+            seed=0,
+        )
+        assert curve.errors[0] > curve.errors[-1]
+
+    def test_samples_for_error(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1.0, 5.0, size=(100, 3))
+        y = x @ np.array([[1.0], [2.0], [-1.0]]) + 4.0  # exactly linear
+        curve = learning_curve(
+            lambda t: LinearWorkloadModel(), x, y, sizes=[10, 50, 100], k=5
+        )
+        # Linear data: even 10 samples fit (near) exactly.
+        assert curve.samples_for_error(0.05) == 10
+        assert curve.samples_for_error(-1.0) is None
+
+    def test_size_validation(self):
+        x, y = smooth_problem(n=30)
+        with pytest.raises(ValueError):
+            learning_curve(lambda t: LinearWorkloadModel(), x, y, sizes=[])
+        with pytest.raises(ValueError):
+            learning_curve(
+                lambda t: LinearWorkloadModel(), x, y, sizes=[3], k=5
+            )
+        with pytest.raises(ValueError):
+            learning_curve(
+                lambda t: LinearWorkloadModel(), x, y, sizes=[500], k=5
+            )
+
+    def test_text(self):
+        x, y = smooth_problem(n=40)
+        curve = learning_curve(
+            lambda t: LinearWorkloadModel(), x, y, sizes=[10, 40], k=5
+        )
+        assert "samples" in curve.to_text()
+
+
+class _TradeoffModel:
+    """Throughput and latency both rise with default_threads: a clean
+    2-point trade plus dominated interior points via a penalty."""
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=float)
+        d = x[:, 1]
+        rt = 0.05 + 0.01 * d
+        tps = 300.0 + 10.0 * d
+        # web != 18 strictly hurts both objectives -> dominated points.
+        penalty = np.abs(x[:, 3] - 18.0)
+        return np.column_stack(
+            [rt + 0.01 * penalty] * 4 + [tps - 5.0 * penalty]
+        )
+
+
+class TestPareto:
+    CONFIGS = [
+        WorkloadConfig(500, d, 16, w)
+        for d in (4, 8, 12, 16)
+        for w in (16, 18, 20)
+    ]
+
+    def test_frontier_keeps_only_web18(self):
+        frontier = pareto_frontier(_TradeoffModel(), self.CONFIGS)
+        assert all(p.config.web_threads == 18 for p in frontier)
+        # All four default levels trade throughput vs latency: none dominate.
+        assert len(frontier) == 4
+
+    def test_endpoints(self):
+        frontier = pareto_frontier(_TradeoffModel(), self.CONFIGS)
+        assert frontier.best_throughput().config.default_threads == 16
+        assert frontier.best_latency().config.default_threads == 4
+
+    def test_knee_is_on_the_frontier(self):
+        frontier = pareto_frontier(_TradeoffModel(), self.CONFIGS)
+        assert frontier.knee() in list(frontier)
+
+    def test_sorted_by_throughput(self):
+        frontier = pareto_frontier(_TradeoffModel(), self.CONFIGS)
+        tps = [p.throughput for p in frontier]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_text(self):
+        frontier = pareto_frontier(_TradeoffModel(), self.CONFIGS)
+        assert "Pareto frontier" in frontier.to_text()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier(_TradeoffModel(), [])

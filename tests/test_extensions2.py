@@ -1,0 +1,295 @@
+"""Pinball loss, quantile models, adaptive sampling, traces, residuals."""
+
+import numpy as np
+import pytest
+
+from repro.model_selection.residuals import residual_report
+from repro.models.quantile import QuantileWorkloadModel, tail_targets
+from repro.nn.losses import Pinball
+from repro.workload.adaptive import AdaptiveSampler
+from repro.workload.analytic import AnalyticWorkloadModel
+from repro.workload.appserver import AppServer
+from repro.workload.database import Database
+from repro.workload.des import Simulator
+from repro.workload.driver import LoadDriver
+from repro.workload.rng import StreamRegistry
+from repro.workload.sampler import ConfigSpace, ParameterRange
+from repro.workload.service import ThreeTierWorkload, WorkloadConfig
+from repro.workload.trace import ArrivalTrace, TraceDriver, record_trace
+from repro.workload.transactions import standard_mix
+
+
+class TestPinball:
+    def test_zero_at_exact_prediction(self):
+        y = np.array([[1.0], [2.0]])
+        assert Pinball(0.9).value(y, y) == 0.0
+
+    def test_asymmetric_penalties(self):
+        loss = Pinball(0.9)
+        actual = np.array([[1.0]])
+        under = loss.value(np.array([[0.5]]), actual)  # under-prediction
+        over = loss.value(np.array([[1.5]]), actual)  # over-prediction
+        # q = 0.9 punishes under-prediction 9x more than over-prediction.
+        assert under == pytest.approx(9 * over)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss = Pinball(0.75)
+        predicted = rng.normal(size=(5, 2))
+        actual = rng.normal(size=(5, 2))
+        analytic = loss.gradient(predicted, actual)
+        eps = 1e-6
+        numeric = np.zeros_like(predicted)
+        for index in np.ndindex(predicted.shape):
+            bump = predicted.copy()
+            bump[index] += eps
+            up = loss.value(bump, actual)
+            bump[index] -= 2 * eps
+            down = loss.value(bump, actual)
+            numeric[index] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-9)
+
+    def test_constant_fit_converges_to_quantile(self):
+        """The defining property: minimizing pinball predicts the quantile."""
+        from repro.nn.mlp import MLP
+        from repro.nn.optimizers import Adam
+        from repro.nn.training import Trainer
+
+        rng = np.random.default_rng(0)
+        x = np.zeros((500, 1))
+        y = rng.exponential(1.0, size=(500, 1))
+        net = MLP([1, 1], seed=0)
+        Trainer(net, loss=Pinball(0.9), optimizer=Adam(0.05), seed=0).fit(
+            x, y, max_epochs=2500
+        )
+        predicted = float(net.predict(np.zeros((1, 1)))[0, 0])
+        assert predicted == pytest.approx(float(np.quantile(y, 0.9)), rel=0.08)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Pinball(0.0)
+        with pytest.raises(ValueError):
+            Pinball(1.0)
+
+
+class TestQuantileModel:
+    @pytest.fixture(scope="class")
+    def tail_data(self):
+        workload = ThreeTierWorkload(warmup=0.5, duration=2.5, seed=3)
+        configs = [
+            WorkloadConfig(rate, d, 16, w)
+            for rate in (300, 400)
+            for d in (10, 16)
+            for w in (16, 19, 22)
+        ]
+        metrics = [workload.run(c) for c in configs]
+        x = np.vstack([c.as_vector() for c in configs])
+        return x, metrics
+
+    def test_tail_targets_shape_and_order(self, tail_data):
+        x, metrics = tail_data
+        targets = tail_targets(metrics, percentile=90)
+        assert targets.shape == (len(metrics), 5)
+        # p90 >= p50 for every response-time column.
+        p50 = tail_targets(metrics, percentile=50)
+        assert np.all(targets[:, :4] >= p50[:, :4])
+
+    def test_tail_targets_validation(self, tail_data):
+        _, metrics = tail_data
+        with pytest.raises(ValueError):
+            tail_targets(metrics, percentile=75)
+
+    def test_quantile_model_predicts_above_the_mean_model(self, tail_data):
+        x, metrics = tail_data
+        p90 = tail_targets(metrics, percentile=90)
+        model = QuantileWorkloadModel(
+            quantile=0.9, hidden=(8,), max_epochs=2000, seed=0
+        ).fit(x, p90)
+        predicted = model.predict(x)
+        means = np.vstack([m.as_vector() for m in metrics])
+        # Predicted p90 response times sit above the mean response times
+        # for the bulk of the samples.
+        above = predicted[:, :4] > means[:, :4]
+        assert above.mean() > 0.7
+
+    def test_contract(self, tail_data):
+        x, metrics = tail_data
+        p90 = tail_targets(metrics, percentile=90)
+        model = QuantileWorkloadModel(hidden=(6,), max_epochs=50, seed=0)
+        with pytest.raises(RuntimeError):
+            model.predict(x)
+        model.fit(x, p90)
+        assert model.predict(x).shape == p90.shape
+        assert model.quantile == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileWorkloadModel(quantile=1.5)
+        with pytest.raises(ValueError):
+            QuantileWorkloadModel(hidden=())
+
+
+SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 400, 600),
+        ParameterRange("default_threads", 2, 22),
+        ParameterRange("mfg_threads", 12, 20),
+        ParameterRange("web_threads", 14, 23),
+    ]
+)
+
+
+class TestAdaptiveSampler:
+    def test_budget_respected_and_rounds_recorded(self):
+        sampler = AdaptiveSampler(
+            AnalyticWorkloadModel(),
+            SPACE,
+            n_initial=8,
+            batch_size=3,
+            n_candidates=40,
+            seed=0,
+        )
+        result = sampler.collect(budget=14)
+        assert 8 <= len(result.dataset) <= 14
+        assert len(result.rounds) == 2
+        assert result.rounds[-1].n_samples_after == len(result.dataset)
+        assert "round" in result.to_text()
+
+    def test_acquired_points_are_novel(self):
+        sampler = AdaptiveSampler(
+            AnalyticWorkloadModel(),
+            SPACE,
+            n_initial=8,
+            batch_size=4,
+            n_candidates=60,
+            seed=1,
+        )
+        result = sampler.collect(budget=12)
+        rows = [tuple(r) for r in result.dataset.x]
+        assert len(set(rows)) == len(rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSampler(AnalyticWorkloadModel(), SPACE, n_initial=2)
+        with pytest.raises(ValueError):
+            AdaptiveSampler(AnalyticWorkloadModel(), SPACE, batch_size=0)
+        sampler = AdaptiveSampler(AnalyticWorkloadModel(), SPACE)
+        with pytest.raises(ValueError):
+            sampler.collect(budget=3)
+
+
+def _serving_stack(seed=0):
+    sim = Simulator()
+    streams = StreamRegistry(seed)
+    db = Database(sim, connections=10, rng=streams.stream("db"))
+    server = AppServer(
+        sim,
+        db,
+        mfg_threads=10,
+        web_threads=14,
+        default_threads=10,
+        rng=streams.stream("svc"),
+    )
+    return sim, streams, server
+
+
+class TestTrace:
+    def make_trace(self):
+        sim, streams, server = _serving_stack()
+        driver = LoadDriver(
+            sim,
+            standard_mix(),
+            injection_rate=150,
+            handler=server.handle,
+            arrival_rng=streams.stream("arr"),
+            mix_rng=streams.stream("mix"),
+        )
+        driver.start()
+        sim.run_until(2.0)
+        driver.stop()
+        return record_trace(driver)
+
+    def test_record_preserves_counts(self):
+        trace = self.make_trace()
+        assert len(trace) > 100
+        assert trace.mean_rate() == pytest.approx(150, rel=0.3)
+        assert set(trace.class_counts()) <= {c.name for c in standard_mix()}
+
+    def test_csv_round_trip(self, tmp_path):
+        trace = self.make_trace()
+        loaded = ArrivalTrace.load_csv(trace.save_csv(tmp_path / "t.csv"))
+        assert len(loaded) == len(trace)
+        assert loaded.class_counts() == trace.class_counts()
+        assert loaded.duration == trace.duration
+
+    def test_replay_injects_identical_arrivals(self):
+        trace = self.make_trace()
+        sim, streams, server = _serving_stack(seed=9)
+        replay = TraceDriver(sim, standard_mix(), trace, server.handle)
+        replay.start()
+        sim.run_until(trace.duration + 1.0)
+        assert replay.injected == len(trace)
+        replayed_times = sorted(t.arrived_at for t in replay.transactions)
+        original_times = sorted(a.time for a in trace)
+        np.testing.assert_allclose(replayed_times, original_times)
+
+    def test_replay_paired_comparison_is_deterministic(self):
+        """Replaying the same trace twice gives identical indicators."""
+        trace = self.make_trace()
+
+        def run_once():
+            sim, streams, server = _serving_stack(seed=5)
+            replay = TraceDriver(sim, standard_mix(), trace, server.handle)
+            replay.start()
+            sim.run_until(trace.duration + 1.0)
+            return sorted(
+                t.response_time for t in replay.transactions if t.is_complete
+            )
+
+        np.testing.assert_allclose(run_once(), run_once())
+
+    def test_unknown_class_rejected(self):
+        trace = ArrivalTrace([(0.1, "warp_drive")])
+        sim, streams, server = _serving_stack()
+        with pytest.raises(ValueError, match="warp_drive"):
+            TraceDriver(sim, standard_mix(), trace, server.handle)
+
+    def test_unordered_trace_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace([(1.0, "a"), (0.5, "a")])
+
+
+class TestResiduals:
+    def test_unbiased_clean_fit_not_flagged(self, rng):
+        actual = rng.normal(loc=10.0, scale=1.0, size=(100, 2))
+        predicted = actual + rng.normal(scale=0.1, size=(100, 2))
+        report = residual_report(predicted, actual, output_names=["a", "b"])
+        assert report.flagged() == []
+
+    def test_bias_detected(self, rng):
+        actual = rng.normal(size=(100, 1))
+        predicted = actual + 0.5 + rng.normal(scale=0.1, size=(100, 1))
+        report = residual_report(predicted, actual, output_names=["x"])
+        assert report["x"].biased
+        assert "BIASED" in report.to_text()
+
+    def test_heteroscedasticity_detected(self, rng):
+        predicted = np.linspace(1.0, 100.0, 200).reshape(-1, 1)
+        noise = rng.normal(size=(200, 1)) * predicted * 0.1
+        actual = predicted + noise
+        report = residual_report(predicted, actual)
+        assert report.per_indicator[0].heteroscedastic
+
+    def test_outliers_found(self, rng):
+        actual = np.zeros((50, 1))
+        predicted = rng.normal(scale=0.1, size=(50, 1))
+        predicted[7, 0] = 5.0
+        report = residual_report(predicted, actual)
+        assert 7 in report.per_indicator[0].outliers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            residual_report(np.zeros((2, 1)), np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            residual_report(np.zeros((5, 1)), np.zeros((5, 2)))
+        with pytest.raises(KeyError):
+            residual_report(np.zeros((5, 1)), np.ones((5, 1)))["missing"]

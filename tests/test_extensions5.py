@@ -1,0 +1,232 @@
+"""Sobol indices, disturbances, and timeline metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sobol import sobol_indices
+from repro.workload.disturbances import (
+    CpuHog,
+    DatabaseSlowdown,
+    Disturbance,
+    TrafficSurge,
+)
+from repro.workload.sampler import ConfigSpace, ParameterRange
+from repro.workload.service import ThreeTierWorkload, WorkloadConfig
+from repro.workload.timeline import Timeline, timeline_from_transactions
+from repro.workload.transactions import Transaction, standard_mix
+
+
+class _AdditiveModel:
+    """y0 = x0 (strong, no interactions); y1 = x1 * x3 (pure interaction)."""
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.column_stack([x[:, 0], x[:, 1] * x[:, 3]])
+
+
+SPACE = ConfigSpace(
+    [
+        ParameterRange("injection_rate", 0, 1, integer=False),
+        ParameterRange("default_threads", 0, 1, integer=False),
+        ParameterRange("mfg_threads", 0, 1, integer=False),
+        ParameterRange("web_threads", 0, 1, integer=False),
+    ]
+)
+
+
+class TestSobol:
+    @pytest.fixture(scope="class")
+    def indices(self):
+        return sobol_indices(
+            _AdditiveModel(),
+            SPACE,
+            n_samples=4096,
+            seed=0,
+            output_names=["linear", "interaction"],
+        )
+
+    def test_linear_output_fully_explained_by_x0(self, indices):
+        first = indices.first_order("linear")
+        assert first["injection_rate"] == pytest.approx(1.0, abs=0.05)
+        assert first["default_threads"] == pytest.approx(0.0, abs=0.05)
+
+    def test_total_equals_first_without_interactions(self, indices):
+        gap = indices.interaction_strength("linear")["injection_rate"]
+        assert abs(gap) < 0.05
+
+    def test_interaction_output_detected(self, indices):
+        # For y = x1 * x3 on U[0,1]: S_i ~ 0.545 each, S_Ti ~ 0.455 + ...
+        first = indices.first_order("interaction")
+        total = indices.total_order("interaction")
+        assert first["default_threads"] > 0.3
+        assert first["web_threads"] > 0.3
+        assert total["default_threads"] > first["default_threads"] - 0.05
+        # The uninvolved parameters carry ~nothing.
+        assert total["mfg_threads"] < 0.05
+
+    def test_indices_within_unit_interval(self, indices):
+        assert np.all(indices.first >= 0) and np.all(indices.first <= 1)
+        assert np.all(indices.total >= 0) and np.all(indices.total <= 1)
+
+    def test_text(self, indices):
+        text = indices.to_text()
+        assert "first-order / total-order" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sobol_indices(_AdditiveModel(), SPACE, n_samples=4)
+
+
+@pytest.fixture(scope="module")
+def disturbed_run():
+    workload = ThreeTierWorkload(
+        warmup=1.0, duration=8.0, seed=2, collect_transactions=True
+    )
+    config = WorkloadConfig(400, 14, 16, 18)
+    calm = workload.run(config)
+    shaken = workload.run(
+        config,
+        disturbances=[DatabaseSlowdown(start=4.0, duration=2.0, factor=5.0)],
+    )
+    return calm, shaken
+
+
+class TestDisturbances:
+    def test_db_slowdown_hurts_the_run(self, disturbed_run):
+        calm, shaken = disturbed_run
+        assert (
+            shaken.indicators["dealer_browse_rt"]
+            > calm.indicators["dealer_browse_rt"]
+        )
+        assert (
+            shaken.indicators["effective_tps"]
+            < calm.indicators["effective_tps"]
+        )
+
+    def test_mfg_partition_slowdown_targets_manufacturing(self):
+        workload = ThreeTierWorkload(warmup=0.5, duration=5.0, seed=3)
+        config = WorkloadConfig(400, 14, 16, 18)
+        calm = workload.run(config)
+        shaken = workload.run(
+            config,
+            disturbances=[
+                DatabaseSlowdown(
+                    start=1.0, duration=4.0, factor=4.0, partition="mfg"
+                )
+            ],
+        )
+        mfg_hit = (
+            shaken.indicators["manufacturing_rt"]
+            / calm.indicators["manufacturing_rt"]
+        )
+        browse_hit = (
+            shaken.indicators["dealer_browse_rt"]
+            / calm.indicators["dealer_browse_rt"]
+        )
+        assert mfg_hit > 1.5
+        assert browse_hit < mfg_hit
+
+    def test_traffic_surge_raises_injection(self):
+        workload = ThreeTierWorkload(warmup=0.5, duration=4.0, seed=4)
+        config = WorkloadConfig(300, 14, 16, 18)
+        calm = workload.run(config)
+        surged = workload.run(
+            config,
+            disturbances=[TrafficSurge(start=0.0, duration=10.0, multiplier=1.5)],
+        )
+        assert surged.injected > 1.3 * calm.injected
+
+    def test_cpu_hog_slows_cpu_bound_work(self):
+        workload = ThreeTierWorkload(warmup=0.5, duration=4.0, seed=5)
+        config = WorkloadConfig(450, 14, 16, 18)
+        calm = workload.run(config)
+        hogged = workload.run(
+            config,
+            disturbances=[CpuHog(start=0.5, duration=4.0, cores=4)],
+        )
+        assert (
+            hogged.indicators["dealer_browse_rt"]
+            > calm.indicators["dealer_browse_rt"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseSlowdown(start=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            DatabaseSlowdown(start=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            DatabaseSlowdown(start=0.0, duration=1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            DatabaseSlowdown(start=0.0, duration=1.0, partition="replica")
+        with pytest.raises(ValueError):
+            TrafficSurge(start=0.0, duration=1.0, multiplier=0.0)
+        with pytest.raises(ValueError):
+            CpuHog(start=0.0, duration=1.0, cores=0)
+
+    def test_non_disturbance_rejected(self):
+        workload = ThreeTierWorkload(warmup=0.2, duration=1.0, seed=0)
+        with pytest.raises(TypeError):
+            workload.run(
+                WorkloadConfig(200, 8, 8, 8), disturbances=["boom"]
+            )
+
+
+class TestTimeline:
+    def test_windows_cover_the_run(self, disturbed_run):
+        _, shaken = disturbed_run
+        timeline = timeline_from_transactions(
+            shaken.transactions, interval=1.0, start=1.0
+        )
+        assert timeline.n_windows >= 7
+        assert timeline.indicator("effective_tps").shape == (
+            timeline.n_windows,
+        )
+
+    def test_disturbance_visible_then_recovers(self, disturbed_run):
+        _, shaken = disturbed_run
+        timeline = timeline_from_transactions(
+            shaken.transactions, interval=1.0, start=1.0
+        )
+        deviation = timeline.peak_deviation(
+            "dealer_browse_rt",
+            after=4.0,
+            baseline=timeline.baseline("dealer_browse_rt", until=4.0),
+        )
+        assert deviation > 1.0  # the spike is unmistakable
+        recovery = timeline.recovery_time(
+            "dealer_browse_rt",
+            disturbance_end=6.0,
+            baseline_until=4.0,
+            tolerance=0.5,
+        )
+        assert recovery is not None and recovery <= 3.0
+
+    def test_effective_tps_windows_sum_to_total(self, disturbed_run):
+        calm, _ = disturbed_run
+        timeline = timeline_from_transactions(
+            calm.transactions, interval=1.0, start=1.0, end=9.0
+        )
+        windowed_total = float(
+            np.nansum(timeline.indicator("effective_tps")) * timeline.interval
+        )
+        assert windowed_total == pytest.approx(
+            calm.effective_completed, rel=0.02
+        )
+
+    def test_unknown_indicator(self, disturbed_run):
+        calm, _ = disturbed_run
+        timeline = timeline_from_transactions(calm.transactions)
+        with pytest.raises(KeyError):
+            timeline.indicator("latency_of_dreams")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timeline_from_transactions([])
+        pending = Transaction(txn_class=standard_mix()[0], arrived_at=0.0)
+        with pytest.raises(ValueError):
+            timeline_from_transactions([pending])
+
+    def test_text(self, disturbed_run):
+        calm, _ = disturbed_run
+        timeline = timeline_from_transactions(calm.transactions)
+        assert "effective_tps" in timeline.to_text()

@@ -1,0 +1,143 @@
+"""The paper's error metric and the standard regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model_selection.metrics import (
+    harmonic_mean,
+    harmonic_mean_relative_error,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_relative_error,
+    prediction_accuracy,
+    r_squared,
+    relative_errors,
+    root_mean_squared_error,
+)
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        # HM(1, 2, 4) = 3 / (1 + 0.5 + 0.25) = 12/7
+        assert harmonic_mean(np.array([1.0, 2.0, 4.0])) == pytest.approx(12 / 7)
+
+    def test_zero_dominates(self):
+        assert harmonic_mean(np.array([0.0, 5.0])) == 0.0
+
+    def test_leq_arithmetic_mean(self, rng):
+        values = rng.uniform(0.1, 10.0, size=20)
+        assert harmonic_mean(values) <= values.mean() + 1e-12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean(np.array([-1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean(np.array([]))
+
+
+class TestRelativeErrors:
+    def test_elementwise(self):
+        errors = relative_errors(
+            np.array([[1.1, 2.0]]), np.array([[1.0, 4.0]])
+        )
+        np.testing.assert_allclose(errors, [[0.1, 0.5]])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError, match="zero actual"):
+            relative_errors(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestPaperMetric:
+    def test_per_indicator_columns(self):
+        predicted = np.array([[1.1, 10.0], [0.9, 30.0]])
+        actual = np.array([[1.0, 20.0], [1.0, 20.0]])
+        per_column = harmonic_mean_relative_error(predicted, actual, axis=0)
+        assert per_column.shape == (2,)
+        assert per_column[0] == pytest.approx(0.1)
+        assert per_column[1] == pytest.approx(0.5)
+
+    def test_scalar_over_all_elements(self):
+        predicted = np.array([[1.1], [0.9]])
+        actual = np.ones((2, 1))
+        assert harmonic_mean_relative_error(predicted, actual) == pytest.approx(
+            0.1
+        )
+
+    def test_perfect_prediction_is_zero_error(self):
+        y = np.array([[2.0, 3.0]])
+        assert harmonic_mean_relative_error(y, y) == 0.0
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            harmonic_mean_relative_error(np.ones((2, 2)), np.ones((2, 2)), axis=1)
+
+    def test_accuracy_complements_error(self):
+        predicted = np.array([[1.05]])
+        actual = np.array([[1.0]])
+        assert prediction_accuracy(predicted, actual) == pytest.approx(0.95)
+
+    def test_harmonic_leq_arithmetic_relative_error(self, rng):
+        predicted = rng.uniform(0.5, 2.0, size=(20, 3))
+        actual = rng.uniform(0.5, 2.0, size=(20, 3))
+        assert harmonic_mean_relative_error(predicted, actual) <= (
+            mean_relative_error(predicted, actual) + 1e-12
+        )
+
+
+class TestStandardMetrics:
+    def test_mae(self):
+        assert mean_absolute_error(
+            np.array([1.0, 3.0]), np.array([0.0, 0.0])
+        ) == pytest.approx(2.0)
+
+    def test_rmse(self):
+        assert root_mean_squared_error(
+            np.array([3.0, 4.0]), np.array([0.0, 0.0])
+        ) == pytest.approx(np.sqrt(12.5))
+
+    def test_max_error(self):
+        assert max_absolute_error(
+            np.array([1.0, -7.0]), np.array([0.0, 0.0])
+        ) == pytest.approx(7.0)
+
+    def test_r_squared_perfect(self, rng):
+        y = rng.normal(size=(10, 2))
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_r_squared_mean_predictor_is_zero(self, rng):
+        y = rng.normal(size=(20, 1))
+        mean_prediction = np.full_like(y, y.mean())
+        assert r_squared(mean_prediction, y) == pytest.approx(0.0)
+
+    def test_r_squared_worse_than_mean_is_negative(self):
+        y = np.array([[1.0], [2.0], [3.0]])
+        bad = np.array([[3.0], [1.0], [5.0]])
+        assert r_squared(bad, y) < 0.0
+
+    def test_r_squared_constant_column(self):
+        y = np.full((5, 1), 2.0)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y + 1.0, y) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros((0, 1)), np.zeros((0, 1)))
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_harmonic_mean_bounded_by_min_and_max(values):
+    hm = harmonic_mean(np.array(values))
+    assert min(values) - 1e-9 <= hm <= max(values) + 1e-9

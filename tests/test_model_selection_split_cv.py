@@ -1,0 +1,229 @@
+"""k-fold splitting, holdout splitting and the cross-validation driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model_selection.cross_validation import cross_validate
+from repro.model_selection.search import GridSearch
+from repro.model_selection.split import KFold, train_test_split
+from repro.models.linear import LinearWorkloadModel
+
+
+class TestKFold:
+    def test_paper_semantics(self):
+        """k trials; each uses k-1 folds to train, 1 to validate."""
+        folds = KFold(k=5, seed=0).split(50)
+        assert len(folds) == 5
+        for fold in folds:
+            assert len(fold.train_indices) + len(fold.validation_indices) == 50
+            assert not set(fold.train_indices) & set(fold.validation_indices)
+
+    def test_every_sample_validated_exactly_once(self):
+        folds = KFold(k=4, seed=1).split(22)
+        validated = np.concatenate([f.validation_indices for f in folds])
+        assert sorted(validated.tolist()) == list(range(22))
+
+    def test_fold_sizes_near_equal(self):
+        folds = KFold(k=5, seed=0).split(52)
+        sizes = [len(f.validation_indices) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shuffle_off_is_contiguous(self):
+        folds = KFold(k=2, shuffle=False).split(4)
+        np.testing.assert_array_equal(folds[0].validation_indices, [0, 1])
+        np.testing.assert_array_equal(folds[1].validation_indices, [2, 3])
+
+    def test_reproducible_with_seed(self):
+        a = KFold(k=3, seed=9).split(10)
+        b = KFold(k=3, seed=9).split(10)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(
+                fa.validation_indices, fb.validation_indices
+            )
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KFold(k=5).split(4)
+
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            KFold(k=1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        x = rng.normal(size=(20, 3))
+        y = rng.normal(size=(20, 2))
+        x_train, x_test, y_train, y_test = train_test_split(
+            x, y, test_fraction=0.25, seed=0
+        )
+        assert x_test.shape[0] == 5
+        assert x_train.shape[0] == 15
+        assert y_test.shape[0] == 5
+
+    def test_rows_stay_paired(self, rng):
+        x = np.arange(10).reshape(-1, 1).astype(float)
+        y = x * 10.0
+        x_train, x_test, y_train, y_test = train_test_split(x, y, seed=3)
+        np.testing.assert_allclose(y_train, x_train * 10.0)
+        np.testing.assert_allclose(y_test, x_test * 10.0)
+
+    def test_at_least_one_each_side(self, rng):
+        x = rng.normal(size=(3, 1))
+        y = rng.normal(size=(3, 1))
+        x_train, x_test, *_ = train_test_split(x, y, test_fraction=0.01, seed=0)
+        assert x_test.shape[0] >= 1 and x_train.shape[0] >= 1
+
+    def test_fraction_bounds(self, rng):
+        x = rng.normal(size=(5, 1))
+        with pytest.raises(ValueError):
+            train_test_split(x, x, test_fraction=1.0)
+        with pytest.raises(ValueError):
+            train_test_split(x, x, test_fraction=0.0)
+
+
+def linear_problem(n=40, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.5, 2.0, size=(n, 3))
+    y = np.column_stack([x @ [1.0, 2.0, 3.0] + 1.0, x @ [-1.0, 0.5, 0.0] + 5.0])
+    if noise:
+        y = y + rng.normal(scale=noise, size=y.shape)
+    return x, y
+
+
+class TestCrossValidate:
+    def test_report_shape(self):
+        x, y = linear_problem()
+        report = cross_validate(
+            lambda t: LinearWorkloadModel(), x, y, k=5, seed=0
+        )
+        assert report.k == 5
+        assert report.error_matrix.shape == (5, 2)
+        assert report.average_errors.shape == (2,)
+
+    def test_linear_model_on_linear_data_is_near_perfect(self):
+        x, y = linear_problem()
+        report = cross_validate(
+            lambda t: LinearWorkloadModel(), x, y, k=5, seed=0
+        )
+        assert report.overall_error < 1e-8
+        assert report.overall_accuracy == pytest.approx(1.0, abs=1e-8)
+
+    def test_factory_receives_trial_index(self):
+        x, y = linear_problem()
+        seen = []
+
+        def factory(trial):
+            seen.append(trial)
+            return LinearWorkloadModel()
+
+        cross_validate(factory, x, y, k=4, seed=0)
+        assert seen == [0, 1, 2, 3]
+
+    def test_trial_records_series_for_figures_5_and_6(self):
+        x, y = linear_problem()
+        report = cross_validate(
+            lambda t: LinearWorkloadModel(), x, y, k=5, seed=0
+        )
+        trial = report.trials[0]
+        assert trial.train_actual.shape == trial.train_predicted.shape
+        assert trial.validation_actual.shape == trial.validation_predicted.shape
+        assert trial.train_actual.shape[0] + trial.validation_actual.shape[0] == 40
+
+    def test_table_rendering(self):
+        x, y = linear_problem(noise=0.05)
+        report = cross_validate(
+            lambda t: LinearWorkloadModel(),
+            x,
+            y,
+            k=3,
+            seed=0,
+            output_names=["alpha", "beta"],
+        )
+        table = report.to_table()
+        assert "alpha" in table and "beta" in table
+        assert "Average" in table
+        assert "Overall accuracy" in table
+
+    def test_1d_targets(self):
+        x, y = linear_problem()
+        report = cross_validate(
+            lambda t: LinearWorkloadModel(), x, y[:, 0], k=3, seed=0
+        )
+        assert report.error_matrix.shape == (3, 1)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            cross_validate(
+                lambda t: LinearWorkloadModel(),
+                np.zeros((5, 2)),
+                np.zeros((6, 1)),
+                k=2,
+            )
+
+
+class TestGridSearch:
+    def test_picks_lower_error_configuration(self):
+        x, y = linear_problem(noise=0.1)
+
+        def factory(ridge):
+            return LinearWorkloadModel(ridge=ridge)
+
+        search = GridSearch(factory, {"ridge": [0.0, 1e6]}, k=3, seed=0)
+        best = search.fit(x, y)
+        # An absurd ridge destroys the fit; plain OLS must win.
+        assert best.params == {"ridge": 0.0}
+        assert len(search.results_) == 2
+
+    def test_cartesian_product(self):
+        search = GridSearch(
+            lambda a, b: LinearWorkloadModel(),
+            {"a": [1, 2, 3], "b": ["x", "y"]},
+        )
+        assert len(search.combinations()) == 6
+
+    def test_summary_before_fit_raises(self):
+        search = GridSearch(lambda: None, {"a": [1]})
+        with pytest.raises(RuntimeError):
+            search.summary()
+        with pytest.raises(RuntimeError):
+            search.best_
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearch(lambda: None, {})
+        with pytest.raises(ValueError):
+            GridSearch(lambda a: None, {"a": []})
+
+    def test_summary_lists_all_points(self):
+        x, y = linear_problem(noise=0.1)
+        search = GridSearch(
+            lambda ridge: LinearWorkloadModel(ridge=ridge),
+            {"ridge": [0.0, 0.1]},
+            k=3,
+            seed=0,
+        )
+        search.fit(x, y)
+        summary = search.summary()
+        assert "0.0" in summary and "0.1" in summary
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=8, max_value=60))
+@settings(max_examples=40, deadline=None)
+def test_kfold_partition_property(k, n):
+    """For any (k, n) with n >= k: folds partition range(n) exactly."""
+    folds = KFold(k=k, seed=0).split(n)
+    validated = sorted(
+        int(i) for f in folds for i in f.validation_indices
+    )
+    assert validated == list(range(n))
+    for fold in folds:
+        combined = sorted(
+            int(i)
+            for i in np.concatenate(
+                [fold.train_indices, fold.validation_indices]
+            )
+        )
+        assert combined == list(range(n))

@@ -1,0 +1,326 @@
+"""Characterization models: neural, linear, polynomial, log-linear, RBF, DOE."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import WorkloadModel
+from repro.models.doe import (
+    DOEWorkloadModel,
+    FactorLevels,
+    central_composite,
+    two_level_fractional_factorial,
+    two_level_full_factorial,
+)
+from repro.models.linear import LinearWorkloadModel
+from repro.models.loglinear import LogLinearWorkloadModel
+from repro.models.neural import NeuralWorkloadModel
+from repro.models.polynomial import PolynomialWorkloadModel, monomial_exponents
+from repro.models.rbf import RBFWorkloadModel
+
+ALL_MODELS = [
+    lambda: NeuralWorkloadModel(hidden=(8,), error_threshold=0.05, max_epochs=800, seed=0),
+    lambda: LinearWorkloadModel(),
+    lambda: PolynomialWorkloadModel(degree=2),
+    lambda: LogLinearWorkloadModel(),
+    lambda: RBFWorkloadModel(n_centers=15, seed=0),
+]
+
+
+def nonlinear_problem(n=60, seed=0):
+    """A positive-valued non-linear 3->2 problem (workload-like)."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(1.0, 10.0, size=(n, 3))
+    y = np.column_stack(
+        [
+            5.0 + 20.0 / x[:, 0] + 0.3 * x[:, 1],
+            2.0 + 0.1 * x[:, 1] * x[:, 2],
+        ]
+    )
+    return x, y
+
+
+@pytest.mark.parametrize(
+    "factory", ALL_MODELS, ids=["neural", "linear", "poly", "loglin", "rbf"]
+)
+class TestModelContract:
+    def test_fit_returns_self(self, factory):
+        x, y = nonlinear_problem()
+        model = factory()
+        assert model.fit(x, y) is model
+
+    def test_predict_shape(self, factory):
+        x, y = nonlinear_problem()
+        model = factory().fit(x, y)
+        assert model.predict(x).shape == y.shape
+        assert model.predict(x[0]).shape == (1, 2)
+
+    def test_predict_before_fit_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.zeros((1, 3)))
+
+    def test_wrong_width_rejected(self, factory):
+        x, y = nonlinear_problem()
+        model = factory().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_nan_training_data_rejected(self, factory):
+        x, y = nonlinear_problem()
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            factory().fit(x, y)
+
+    def test_sample_mismatch_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((3, 2)), np.zeros((4, 1)))
+
+    def test_reasonable_in_sample_fit(self, factory):
+        x, y = nonlinear_problem()
+        model = factory().fit(x, y)
+        relative = np.abs(model.predict(x) - y) / np.abs(y)
+        assert relative.mean() < 0.25
+
+
+class TestNeuralModel:
+    def test_paper_recipe_standardizes_outputs_when_joint(self):
+        x, y = nonlinear_problem()
+        model = NeuralWorkloadModel(hidden=(8,), max_epochs=10, seed=0).fit(x, y)
+        assert model.y_scaler_.__class__.__name__ == "StandardScaler"
+
+    def test_single_output_not_standardized(self):
+        x, y = nonlinear_problem()
+        model = NeuralWorkloadModel(hidden=(8,), max_epochs=10, seed=0).fit(
+            x, y[:, :1]
+        )
+        assert model.y_scaler_.__class__.__name__ == "IdentityScaler"
+
+    def test_separate_mode_builds_one_net_per_output(self):
+        x, y = nonlinear_problem()
+        model = NeuralWorkloadModel(
+            hidden=(6,), joint=False, max_epochs=10, seed=0
+        ).fit(x, y)
+        assert len(model.networks_) == 2
+        assert model.predict(x).shape == y.shape
+
+    def test_joint_mode_builds_single_net(self):
+        x, y = nonlinear_problem()
+        model = NeuralWorkloadModel(hidden=(6,), max_epochs=10, seed=0).fit(x, y)
+        assert len(model.networks_) == 1
+        assert model.networks_[0].n_outputs == 2
+
+    def test_error_threshold_stops_training(self):
+        x, y = nonlinear_problem()
+        loose = NeuralWorkloadModel(
+            hidden=(8,), error_threshold=0.2, max_epochs=5000, seed=0
+        ).fit(x, y)
+        assert loose.training_results_[0].stopped_by == "error_threshold"
+        assert loose.total_epochs_ < 5000
+
+    def test_loose_fit_runs_fewer_epochs_than_tight(self):
+        x, y = nonlinear_problem()
+        loose = NeuralWorkloadModel(
+            hidden=(8,), error_threshold=0.2, max_epochs=3000, seed=0
+        ).fit(x, y)
+        tight = NeuralWorkloadModel(
+            hidden=(8,), error_threshold=0.005, max_epochs=3000, seed=0
+        ).fit(x, y)
+        assert loose.total_epochs_ < tight.total_epochs_
+
+    def test_beats_linear_on_nonlinear_data(self):
+        x, y = nonlinear_problem(n=80)
+        neural = NeuralWorkloadModel(
+            hidden=(12,), error_threshold=0.002, max_epochs=6000, seed=0
+        ).fit(x, y)
+        linear = LinearWorkloadModel().fit(x, y)
+        neural_err = np.abs(neural.predict(x) - y).mean()
+        linear_err = np.abs(linear.predict(x) - y).mean()
+        assert neural_err < linear_err
+
+    def test_sgd_paper_exact_option(self):
+        x, y = nonlinear_problem()
+        model = NeuralWorkloadModel(
+            hidden=(6,),
+            optimizer="sgd",
+            learning_rate=0.05,
+            max_epochs=50,
+            seed=0,
+        ).fit(x, y)
+        assert model.is_fitted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeuralWorkloadModel(hidden=())
+        with pytest.raises(ValueError):
+            NeuralWorkloadModel(hidden=(0,))
+        with pytest.raises(ValueError):
+            NeuralWorkloadModel(error_threshold=-1.0)
+        with pytest.raises(ValueError):
+            NeuralWorkloadModel(max_epochs=0)
+
+
+class TestLinearModel:
+    def test_recovers_exact_coefficients(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 3))
+        true_w = np.array([[1.0, -2.0], [0.5, 3.0], [0.0, 1.0]])
+        y = x @ true_w + np.array([4.0, -1.0])
+        model = LinearWorkloadModel().fit(x, y)
+        np.testing.assert_allclose(model.coefficients_, true_w, atol=1e-10)
+        np.testing.assert_allclose(model.intercept_, [4.0, -1.0], atol=1e-10)
+
+    def test_ridge_shrinks_coefficients(self):
+        x, y = nonlinear_problem()
+        plain = LinearWorkloadModel().fit(x, y)
+        shrunk = LinearWorkloadModel(ridge=100.0).fit(x, y)
+        assert np.linalg.norm(shrunk.coefficients_) < np.linalg.norm(
+            plain.coefficients_
+        )
+
+    def test_ridge_never_shrinks_intercept(self):
+        x = np.zeros((20, 2))
+        y = np.full((20, 1), 7.0)
+        model = LinearWorkloadModel(ridge=1e6).fit(x + 1e-9, y)
+        assert model.intercept_[0] == pytest.approx(7.0, rel=1e-6)
+
+
+class TestPolynomialModel:
+    def test_monomial_exponents_degree2(self):
+        exps = monomial_exponents(2, 2)
+        assert set(exps) == {(1, 0), (0, 1), (2, 0), (1, 1), (0, 2)}
+
+    def test_exponent_count_formula(self):
+        # C(n + d, d) - 1 terms for degree-d polynomials in n variables.
+        assert len(monomial_exponents(4, 2)) == 14
+        assert len(monomial_exponents(3, 3)) == 19
+
+    def test_fits_quadratic_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(40, 2))
+        y = (1.0 + 2 * x[:, 0] - x[:, 1] + 0.5 * x[:, 0] * x[:, 1]).reshape(-1, 1)
+        model = PolynomialWorkloadModel(degree=2, ridge=0.0, standardize=False)
+        model.fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-8)
+
+    def test_n_terms_property(self):
+        x, y = nonlinear_problem()
+        model = PolynomialWorkloadModel(degree=2).fit(x, y)
+        assert model.n_terms == 9
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialWorkloadModel(degree=0)
+
+
+class TestLogLinearModel:
+    def test_fits_reciprocal_queueing_curve_better_than_linear(self):
+        x = np.linspace(1.0, 20.0, 50).reshape(-1, 1)
+        y = (1.0 + 30.0 / x).reshape(-1, 1)
+        loglinear = LogLinearWorkloadModel().fit(x, y)
+        linear = LinearWorkloadModel().fit(x, y)
+        assert np.abs(loglinear.predict(x) - y).mean() < np.abs(
+            linear.predict(x) - y
+        ).mean()
+
+    def test_log_output_mode_keeps_predictions_positive(self):
+        x, y = nonlinear_problem()
+        model = LogLinearWorkloadModel(log_outputs=True).fit(x, y)
+        assert np.all(model.predict(x) > 0)
+
+    def test_raw_output_mode(self):
+        x, y = nonlinear_problem()
+        model = LogLinearWorkloadModel(log_outputs=False).fit(x, y)
+        assert model.predict(x).shape == y.shape
+
+
+class TestRBFModel:
+    def test_interpolation_quality(self):
+        x, y = nonlinear_problem(n=40)
+        model = RBFWorkloadModel(n_centers=40, ridge=1e-9, seed=0).fit(x, y)
+        relative = np.abs(model.predict(x) - y) / np.abs(y)
+        assert relative.mean() < 0.02
+
+
+class TestDOE:
+    FACTORS = [
+        FactorLevels("injection_rate", 400, 600),
+        FactorLevels("default_threads", 4, 20),
+        FactorLevels("web_threads", 14, 22),
+    ]
+
+    def test_full_factorial_corners(self):
+        design = two_level_full_factorial(self.FACTORS)
+        assert design.shape == (8, 3)
+        assert set(design[:, 0]) == {400.0, 600.0}
+
+    def test_fractional_factorial_halves_runs(self):
+        design = two_level_fractional_factorial(
+            self.FACTORS, n_base=2, generators=[(0, 1)]
+        )
+        assert design.shape == (4, 3)
+        # Generated column = product of the base columns (coded units).
+        coded = (design - [500, 12, 18]) / [100, 8, 4]
+        np.testing.assert_allclose(coded[:, 2], coded[:, 0] * coded[:, 1])
+
+    def test_central_composite_counts(self):
+        design = central_composite(self.FACTORS, center_points=2)
+        assert design.shape == (8 + 6 + 2, 3)
+
+    def test_doe_model_recovers_main_effects(self):
+        design = two_level_full_factorial(self.FACTORS)
+        # Response: strong effect of factor 0, weak of factor 2, none of 1.
+        coded = (design - [500, 12, 18]) / [100, 8, 4]
+        response = (10.0 + 5.0 * coded[:, 0] + 0.5 * coded[:, 2]).reshape(-1, 1)
+        model = DOEWorkloadModel(self.FACTORS, interactions=False).fit(
+            design, response
+        )
+        effects = model.effects(0)
+        names = list(effects)
+        assert names[0] == "injection_rate"
+        assert abs(effects["injection_rate"]) == pytest.approx(5.0, abs=1e-8)
+        assert abs(effects["default_threads"]) < 1e-8
+
+    def test_doe_model_predicts_on_design(self):
+        design = two_level_full_factorial(self.FACTORS)
+        response = design[:, :1] * 0.01
+        model = DOEWorkloadModel(self.FACTORS).fit(design, response)
+        np.testing.assert_allclose(
+            model.predict(design), response, atol=1e-6
+        )
+
+    def test_quadratic_needs_composite_design(self):
+        design = central_composite(self.FACTORS)
+        coded = (design - [500, 12, 18]) / [100, 8, 4]
+        response = (coded[:, 0] ** 2).reshape(-1, 1)
+        model = DOEWorkloadModel(self.FACTORS, quadratic=True).fit(
+            design, response
+        )
+        effects = model.effects(0)
+        assert abs(effects["injection_rate^2"]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            two_level_fractional_factorial(
+                self.FACTORS, n_base=2, generators=[]
+            )
+        with pytest.raises(ValueError):
+            two_level_fractional_factorial(
+                self.FACTORS, n_base=2, generators=[(5,)]
+            )
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            FactorLevels("x", 2.0, 2.0)
+        with pytest.raises(ValueError):
+            DOEWorkloadModel([])
+
+    def test_effects_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DOEWorkloadModel(self.FACTORS).effects()
+
+
+def test_base_class_is_abstract():
+    model = WorkloadModel()
+    with pytest.raises(NotImplementedError):
+        model.fit(np.zeros((1, 1)), np.zeros((1, 1)))
+    with pytest.raises(NotImplementedError):
+        model.predict(np.zeros((1, 1)))

@@ -1,0 +1,166 @@
+"""Activation functions: values, derivatives, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import (
+    HardLimiter,
+    Identity,
+    LeakyReLU,
+    Logistic,
+    ReLU,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+
+ALL_DIFFERENTIABLE = [Logistic(), Tanh(), ReLU(), LeakyReLU(), Softplus(), Identity()]
+
+
+class TestLogistic:
+    def test_midpoint_is_half(self):
+        assert Logistic().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_range_is_open_unit_interval(self):
+        # |x| <= 30 keeps 1 - f(x) above float64 resolution.
+        x = np.linspace(-30, 30, 201)
+        out = Logistic().forward(x)
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_strictly_increasing(self):
+        x = np.linspace(-10, 10, 101)
+        out = Logistic().forward(x)
+        assert np.all(np.diff(out) > 0)
+
+    def test_slope_parameter_sharpens_boundary(self):
+        # Paper Figure 2: larger slope approaches a hard limiter.
+        x = np.array([0.5])
+        gentle = Logistic(slope=1.0).forward(x)[0]
+        sharp = Logistic(slope=10.0).forward(x)[0]
+        assert sharp > gentle
+        assert sharp == pytest.approx(1.0, abs=0.01)
+
+    def test_extreme_inputs_are_stable(self):
+        out = Logistic().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_rejects_nonpositive_slope(self):
+        with pytest.raises(ValueError):
+            Logistic(slope=0.0)
+        with pytest.raises(ValueError):
+            Logistic(slope=-1.0)
+
+
+class TestShapes:
+    def test_tanh_is_odd(self):
+        x = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(Tanh().forward(-x), -Tanh().forward(x))
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([-2.0, 0.0, 3.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 3.0])
+
+    def test_leaky_relu_leaks(self):
+        out = LeakyReLU(alpha=0.1).forward(np.array([-10.0, 10.0]))
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_softplus_positive_and_asymptotically_linear(self):
+        out = Softplus().forward(np.array([-40.0, 0.0, 40.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(np.log(2.0))
+        assert out[2] == pytest.approx(40.0, rel=1e-9)
+
+    def test_identity_passes_through(self):
+        x = np.array([-1.5, 0.0, 2.5])
+        np.testing.assert_allclose(Identity().forward(x), x)
+
+    def test_hard_limiter_is_a_step(self):
+        out = HardLimiter().forward(np.array([-0.1, 0.0, 0.1]))
+        np.testing.assert_allclose(out, [0.0, 1.0, 1.0])
+
+    def test_hard_limiter_derivative_raises(self):
+        x = np.array([0.5])
+        with pytest.raises(ValueError):
+            HardLimiter().derivative(x, HardLimiter().forward(x))
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "activation", ALL_DIFFERENTIABLE, ids=lambda a: a.name
+    )
+    def test_matches_finite_difference(self, activation):
+        # Stay away from ReLU's kink at 0.
+        x = np.array([-2.3, -0.7, 0.4, 1.9])
+        eps = 1e-6
+        fx = activation.forward(x)
+        analytic = activation.derivative(x, fx)
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (
+            2 * eps
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_logistic_derivative_uses_slope(self):
+        x = np.array([0.0])
+        act = Logistic(slope=3.0)
+        assert act.derivative(x, act.forward(x))[0] == pytest.approx(3.0 * 0.25)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_activation("tanh"), Tanh)
+
+    def test_lookup_with_kwargs(self):
+        act = get_activation("logistic", slope=2.5)
+        assert act.slope == 2.5
+
+    def test_lookup_from_config_dict(self):
+        act = get_activation({"name": "logistic", "slope": 4.0})
+        assert isinstance(act, Logistic) and act.slope == 4.0
+
+    def test_instance_passthrough(self):
+        act = Tanh()
+        assert get_activation(act) is act
+
+    def test_instance_with_kwargs_rejected(self):
+        with pytest.raises(ValueError):
+            get_activation(Tanh(), slope=2.0)
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="unknown activation"):
+            get_activation("sigmoidal-flux")
+
+    def test_available_contains_paper_activation(self):
+        assert "logistic" in available_activations()
+
+    def test_config_round_trip(self):
+        original = Logistic(slope=1.7)
+        rebuilt = get_activation(original.config())
+        assert rebuilt == original
+
+
+@given(st.floats(min_value=-30, max_value=30))
+@settings(max_examples=50, deadline=None)
+def test_logistic_complements_to_one(x):
+    """f(x) + f(-x) == 1 for any symmetric sigmoid."""
+    act = Logistic()
+    total = act.forward(np.array([x]))[0] + act.forward(np.array([-x]))[0]
+    assert total == pytest.approx(1.0, abs=1e-12)
+
+
+@given(
+    st.lists(st.floats(min_value=-20, max_value=20), min_size=1, max_size=20)
+)
+@settings(max_examples=50, deadline=None)
+def test_differentiable_activations_preserve_shape(values):
+    x = np.array(values)
+    for activation in ALL_DIFFERENTIABLE:
+        assert activation.forward(x).shape == x.shape

@@ -1,0 +1,109 @@
+"""Weight initializers: shapes, statistics, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    available_initializers,
+    get_initializer,
+)
+
+ALL = [
+    Zeros(),
+    Constant(0.3),
+    RandomUniform(),
+    RandomNormal(),
+    GlorotUniform(),
+    GlorotNormal(),
+    HeNormal(),
+]
+
+
+@pytest.mark.parametrize("init", ALL, ids=lambda i: i.name)
+def test_produces_requested_shape(init, rng):
+    assert init((5, 7), rng).shape == (5, 7)
+    assert init((4,), rng).shape == (4,)
+
+
+@pytest.mark.parametrize("init", ALL, ids=lambda i: i.name)
+def test_reproducible_given_same_seed(init):
+    a = init((6, 6), np.random.default_rng(3))
+    b = init((6, 6), np.random.default_rng(3))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_zeros_are_zero(rng):
+    assert not Zeros()((3, 3), rng).any()
+
+
+def test_constant_value(rng):
+    np.testing.assert_allclose(Constant(2.5)((2, 2), rng), 2.5)
+
+
+def test_random_uniform_respects_bounds(rng):
+    out = RandomUniform(low=-0.2, high=0.4)((100, 10), rng)
+    assert out.min() >= -0.2 and out.max() < 0.4
+
+
+def test_random_uniform_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        RandomUniform(low=1.0, high=-1.0)
+
+
+def test_random_normal_statistics(rng):
+    out = RandomNormal(mean=1.0, stddev=0.5)((200, 50), rng)
+    assert out.mean() == pytest.approx(1.0, abs=0.02)
+    assert out.std() == pytest.approx(0.5, abs=0.02)
+
+
+def test_random_normal_rejects_nonpositive_stddev():
+    with pytest.raises(ValueError):
+        RandomNormal(stddev=0.0)
+
+
+def test_glorot_uniform_limit_shrinks_with_fan(rng):
+    small = GlorotUniform()((4, 4), rng)
+    large = GlorotUniform()((400, 400), rng)
+    assert np.abs(large).max() < np.abs(small).max()
+
+
+def test_glorot_normal_variance(rng):
+    fan_in, fan_out = 100, 60
+    out = GlorotNormal()((fan_in, fan_out), rng)
+    expected_var = 2.0 / (fan_in + fan_out)
+    assert out.var() == pytest.approx(expected_var, rel=0.15)
+
+
+def test_he_normal_variance(rng):
+    fan_in = 128
+    out = HeNormal()((fan_in, 64), rng)
+    assert out.var() == pytest.approx(2.0 / fan_in, rel=0.15)
+
+
+def test_fans_reject_3d_shapes(rng):
+    with pytest.raises(ValueError):
+        GlorotUniform()((2, 3, 4), rng)
+
+
+def test_registry_round_trip():
+    init = get_initializer("constant", value=0.7)
+    assert isinstance(init, Constant) and init.value == 0.7
+    rebuilt = get_initializer(init.config())
+    assert rebuilt.value == 0.7
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError):
+        get_initializer("xavier-deluxe")
+
+
+def test_registry_lists_all():
+    names = available_initializers()
+    assert {"zeros", "glorot_uniform", "he_normal"} <= set(names)

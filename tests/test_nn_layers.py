@@ -1,0 +1,126 @@
+"""Dense layers: forward math, backward chain rule, parameter plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+
+
+def make_layer(**kwargs):
+    defaults = dict(
+        in_features=3,
+        out_features=2,
+        activation="identity",
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return Dense(**defaults)
+
+
+class TestForward:
+    def test_identity_layer_is_affine(self):
+        layer = make_layer()
+        x = np.array([[1.0, 2.0, 3.0]])
+        expected = x @ layer.weights + layer.bias
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_batch_shape(self):
+        layer = make_layer()
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 2)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            make_layer().forward(np.zeros((2, 4)))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            make_layer().forward(np.zeros(3))
+
+    def test_logistic_layer_bounded(self):
+        layer = make_layer(activation="logistic")
+        out = layer.forward(np.random.default_rng(1).normal(size=(20, 3)) * 10)
+        assert np.all(out > 0) and np.all(out < 1)
+
+
+class TestBackward:
+    def test_requires_forward_first(self):
+        layer = make_layer()
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_prediction_pass_does_not_enable_backward(self):
+        layer = make_layer()
+        layer.forward(np.zeros((1, 3)), remember=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_shapes(self):
+        layer = make_layer()
+        layer.forward(np.ones((5, 3)))
+        grad_in = layer.backward(np.ones((5, 2)))
+        assert grad_in.shape == (5, 3)
+        assert layer.grad_weights.shape == layer.weights.shape
+        assert layer.grad_bias.shape == layer.bias.shape
+
+    def test_identity_layer_gradients_exact(self):
+        layer = make_layer()
+        x = np.array([[1.0, -1.0, 2.0], [0.5, 0.0, -2.0]])
+        layer.forward(x)
+        grad_out = np.array([[1.0, 0.0], [0.0, 1.0]])
+        grad_in = layer.backward(grad_out)
+        np.testing.assert_allclose(layer.grad_weights, x.T @ grad_out)
+        np.testing.assert_allclose(layer.grad_bias, grad_out.sum(axis=0))
+        np.testing.assert_allclose(grad_in, grad_out @ layer.weights.T)
+
+    def test_grad_output_shape_mismatch_rejected(self):
+        layer = make_layer()
+        layer.forward(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            layer.backward(np.zeros((3, 2)))
+
+
+class TestParameters:
+    def test_num_params(self):
+        assert make_layer().num_params == 3 * 2 + 2
+
+    def test_set_parameters_validates_shape(self):
+        layer = make_layer()
+        with pytest.raises(ValueError):
+            layer.set_parameters(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            layer.set_parameters(np.zeros((3, 2)), np.zeros(3))
+
+    def test_set_parameters_copies(self):
+        layer = make_layer()
+        weights = np.ones((3, 2))
+        layer.set_parameters(weights, np.zeros(2))
+        weights[0, 0] = 99.0
+        assert layer.weights[0, 0] == 1.0
+
+    def test_reset_redraws(self):
+        layer = make_layer()
+        before = layer.weights.copy()
+        layer.reset(np.random.default_rng(99))
+        assert not np.array_equal(before, layer.weights)
+
+    def test_reset_is_reproducible(self):
+        a = make_layer()
+        b = make_layer()
+        a.reset(np.random.default_rng(5))
+        b.reset(np.random.default_rng(5))
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+        with pytest.raises(ValueError):
+            Dense(2, 0)
+
+
+def test_config_describes_layer():
+    layer = make_layer(activation="logistic")
+    config = layer.config()
+    assert config["in_features"] == 3
+    assert config["out_features"] == 2
+    assert config["activation"]["name"] == "logistic"

@@ -1,0 +1,112 @@
+"""Loss functions: values, gradients, shape policing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.losses import (
+    Huber,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    available_losses,
+    get_loss,
+)
+
+ALL = [MeanSquaredError(), MeanAbsoluteError(), Huber()]
+
+
+@pytest.mark.parametrize("loss", ALL, ids=lambda l: l.name)
+class TestCommonContract:
+    def test_zero_at_perfect_prediction(self, loss, rng):
+        y = rng.normal(size=(10, 3))
+        assert loss.value(y, y) == pytest.approx(0.0)
+
+    def test_positive_when_wrong(self, loss, rng):
+        y = rng.normal(size=(10, 3))
+        assert loss.value(y + 1.0, y) > 0.0
+
+    def test_gradient_matches_finite_difference(self, loss, rng):
+        predicted = rng.normal(size=(4, 2)) * 2.0
+        actual = rng.normal(size=(4, 2))
+        analytic = loss.gradient(predicted, actual)
+        eps = 1e-6
+        numeric = np.zeros_like(predicted)
+        for index in np.ndindex(predicted.shape):
+            bump = predicted.copy()
+            bump[index] += eps
+            up = loss.value(bump, actual)
+            bump[index] -= 2 * eps
+            down = loss.value(bump, actual)
+            numeric[index] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-8)
+
+    def test_shape_mismatch_rejected(self, loss):
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_1d_inputs_accepted(self, loss):
+        assert loss.value(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+
+class TestMSE:
+    def test_known_value(self):
+        value = MeanSquaredError().value(np.array([2.0, 4.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx((4.0 + 16.0) / 2.0)
+
+
+class TestMAE:
+    def test_known_value(self):
+        value = MeanAbsoluteError().value(
+            np.array([2.0, -4.0]), np.array([0.0, 0.0])
+        )
+        assert value == pytest.approx(3.0)
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        huber = Huber(delta=1.0)
+        mse = MeanSquaredError()
+        predicted = np.array([0.3])
+        actual = np.array([0.0])
+        assert huber.value(predicted, actual) == pytest.approx(
+            0.5 * mse.value(predicted, actual)
+        )
+
+    def test_linear_outside_delta(self):
+        huber = Huber(delta=1.0)
+        value = huber.value(np.array([10.0]), np.array([0.0]))
+        assert value == pytest.approx(1.0 * (10.0 - 0.5))
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            Huber(delta=0.0)
+
+    def test_gradient_is_clipped(self):
+        grad = Huber(delta=1.0).gradient(np.array([100.0]), np.array([0.0]))
+        assert grad[0] == pytest.approx(1.0)
+
+
+def test_registry():
+    assert isinstance(get_loss("mse"), MeanSquaredError)
+    assert isinstance(get_loss("huber", delta=2.0), Huber)
+    assert set(available_losses()) == {"mse", "mae", "huber", "pinball"}
+    with pytest.raises(KeyError):
+        get_loss("cross-entropy")
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100), min_size=2, max_size=20
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_mse_dominates_at_large_errors(values):
+    """MSE >= MAE^2 is not generally true, but MSE >= 0 and symmetric is."""
+    predicted = np.array(values)
+    actual = np.zeros_like(predicted)
+    mse = MeanSquaredError()
+    assert mse.value(predicted, actual) >= 0.0
+    assert mse.value(predicted, actual) == pytest.approx(
+        mse.value(-predicted, actual)
+    )

@@ -1,0 +1,149 @@
+"""MLP: structure, forward/backward, flat parameters, universality-in-small."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_gradients
+from repro.nn.mlp import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer
+
+
+class TestStructure:
+    def test_shapes(self):
+        net = MLP([4, 16, 8, 5], seed=0)
+        assert net.n_inputs == 4
+        assert net.n_outputs == 5
+        assert net.n_hidden_layers == 2
+        assert len(net.layers) == 3
+
+    def test_num_params(self):
+        net = MLP([2, 3, 1], seed=0)
+        assert net.num_params == (2 * 3 + 3) + (3 * 1 + 1)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            MLP([4, 0, 2])
+
+    def test_hidden_activation_applied(self):
+        net = MLP([2, 4, 1], hidden_activation="tanh", seed=0)
+        assert net.layers[0].activation.name == "tanh"
+        assert net.layers[-1].activation.name == "identity"
+
+
+class TestForward:
+    def test_single_sample_promoted_to_batch(self):
+        net = MLP([3, 4, 2], seed=0)
+        assert net.forward(np.zeros(3)).shape == (1, 2)
+
+    def test_batch_forward(self):
+        net = MLP([3, 4, 2], seed=0)
+        assert net.predict(np.zeros((9, 3))).shape == (9, 2)
+
+    def test_deterministic_given_seed(self):
+        x = np.ones((2, 3))
+        a = MLP([3, 5, 2], seed=11).predict(x)
+        b = MLP([3, 5, 2], seed=11).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x = np.ones((2, 3))
+        a = MLP([3, 5, 2], seed=1).predict(x)
+        b = MLP([3, 5, 2], seed=2).predict(x)
+        assert not np.array_equal(a, b)
+
+
+class TestFlatParams:
+    def test_round_trip(self):
+        net = MLP([3, 6, 2], seed=0)
+        flat = net.get_flat_params()
+        assert flat.shape == (net.num_params,)
+        net.set_flat_params(flat * 2.0)
+        np.testing.assert_allclose(net.get_flat_params(), flat * 2.0)
+
+    def test_wrong_size_rejected(self):
+        net = MLP([3, 6, 2], seed=0)
+        with pytest.raises(ValueError):
+            net.set_flat_params(np.zeros(net.num_params + 1))
+
+    def test_flat_grads_align_with_params(self):
+        net = MLP([2, 3, 1], seed=0)
+        x = np.ones((4, 2))
+        y = np.zeros((4, 1))
+        predicted = net.forward(x)
+        net.backward(predicted - y)
+        grads = net.get_flat_grads()
+        assert grads.shape == (net.num_params,)
+
+    def test_copy_is_independent(self):
+        net = MLP([2, 3, 1], seed=0)
+        clone = net.copy()
+        np.testing.assert_array_equal(
+            net.get_flat_params(), clone.get_flat_params()
+        )
+        clone.set_flat_params(clone.get_flat_params() + 1.0)
+        assert not np.array_equal(
+            net.get_flat_params(), clone.get_flat_params()
+        )
+
+
+class TestGradients:
+    @pytest.mark.parametrize("hidden_activation", ["logistic", "tanh", "softplus"])
+    def test_backprop_matches_finite_difference(self, hidden_activation, rng):
+        net = MLP([3, 5, 2], hidden_activation=hidden_activation, seed=2)
+        x = rng.normal(size=(6, 3))
+        y = rng.normal(size=(6, 2))
+        report = check_gradients(net, x, y)
+        assert report.passed, str(report)
+
+    def test_two_hidden_layers(self, rng):
+        net = MLP([2, 4, 3, 1], seed=3)
+        x = rng.normal(size=(5, 2))
+        y = rng.normal(size=(5, 1))
+        assert check_gradients(net, x, y).passed
+
+
+class TestReset:
+    def test_reset_restores_initial_state(self):
+        net = MLP([2, 4, 1], seed=7)
+        initial = net.get_flat_params().copy()
+        net.set_flat_params(initial + 5.0)
+        net.reset()
+        np.testing.assert_array_equal(net.get_flat_params(), initial)
+
+    def test_reset_with_new_seed(self):
+        net = MLP([2, 4, 1], seed=7)
+        initial = net.get_flat_params().copy()
+        net.reset(seed=8)
+        assert not np.array_equal(net.get_flat_params(), initial)
+
+
+class TestConfig:
+    def test_round_trip_structure(self):
+        net = MLP([3, 8, 2], hidden_activation="tanh", seed=5)
+        rebuilt = MLP.from_config(net.config())
+        assert rebuilt.layer_sizes == net.layer_sizes
+        assert rebuilt.layers[0].activation.name == "tanh"
+        # Same seed -> same initial parameters.
+        np.testing.assert_array_equal(
+            rebuilt.get_flat_params(), net.get_flat_params()
+        )
+
+
+def test_mlp_approximates_a_nonlinear_function(rng):
+    """Small-scale universality: fit sin on [-pi, pi] to visible accuracy.
+
+    The paper's premise (Hornik et al. [7]) is that MLPs approximate any
+    continuous function; this exercises the property end-to-end.
+    """
+    x = np.linspace(-np.pi, np.pi, 60).reshape(-1, 1)
+    y = np.sin(x)
+    net = MLP([1, 12, 1], seed=4)
+    trainer = Trainer(net, optimizer=Adam(learning_rate=0.02), seed=0)
+    trainer.fit(x, y, max_epochs=1500)
+    mse = float(np.mean((net.predict(x) - y) ** 2))
+    assert mse < 0.01

@@ -1,0 +1,141 @@
+"""Optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    ExponentialDecay,
+    Momentum,
+    Nesterov,
+    RMSProp,
+    StepDecay,
+    available_optimizers,
+    get_optimizer,
+)
+
+ALL = [SGD(0.1), Momentum(0.1), Nesterov(0.1), RMSProp(0.1), Adam(0.1)]
+
+
+def quadratic_grad(params):
+    """Gradient of f(p) = 0.5 * ||p - target||^2 with target = (1, -2)."""
+    return params - np.array([1.0, -2.0])
+
+
+@pytest.mark.parametrize("optimizer", ALL, ids=lambda o: o.name)
+class TestConvergence:
+    def test_minimizes_quadratic(self, optimizer):
+        optimizer.reset()
+        params = np.array([10.0, 10.0])
+        for _ in range(500):
+            params = optimizer.step(params, quadratic_grad(params))
+        np.testing.assert_allclose(params, [1.0, -2.0], atol=0.05)
+
+    def test_step_counts(self, optimizer):
+        optimizer.reset()
+        params = np.zeros(2)
+        optimizer.step(params, np.zeros(2))
+        optimizer.step(params, np.zeros(2))
+        assert optimizer.step_count == 2
+        optimizer.reset()
+        assert optimizer.step_count == 0
+
+    def test_shape_mismatch_rejected(self, optimizer):
+        optimizer.reset()
+        with pytest.raises(ValueError):
+            optimizer.step(np.zeros(3), np.zeros(2))
+
+
+class TestSGD:
+    def test_exact_update(self):
+        sgd = SGD(learning_rate=0.5)
+        updated = sgd.step(np.array([1.0]), np.array([2.0]))
+        assert updated[0] == pytest.approx(0.0)
+
+
+class TestMomentum:
+    def test_velocity_accumulates(self):
+        momentum = Momentum(learning_rate=0.1, momentum=0.9)
+        params = np.array([0.0])
+        grad = np.array([1.0])
+        first = momentum.step(params, grad)
+        second = momentum.step(first, grad)
+        # Second step moves farther than the first (velocity build-up).
+        assert abs(second[0] - first[0]) > abs(first[0] - params[0])
+
+    def test_momentum_bounds(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        adam = Adam(learning_rate=0.1)
+        updated = adam.step(np.zeros(1), np.array([123.0]))
+        # Bias correction makes the first step ~ -lr * sign(grad).
+        assert updated[0] == pytest.approx(-0.1, rel=1e-5)
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+        with pytest.raises(ValueError):
+            Adam(epsilon=0.0)
+
+
+class TestRMSProp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RMSProp(decay=1.0)
+        with pytest.raises(ValueError):
+            RMSProp(epsilon=0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.05)
+        assert schedule(0) == schedule(1000) == 0.05
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+    def test_step_decay(self):
+        schedule = StepDecay(initial=1.0, factor=0.5, every=10)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(20) == 0.25
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecay(initial=1.0, decay=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(np.exp(-1.0))
+
+    def test_optimizer_consumes_schedule(self):
+        sgd = SGD(learning_rate=StepDecay(initial=1.0, factor=0.1, every=1))
+        params = np.array([0.0])
+        first = sgd.step(params, np.array([1.0]))
+        second = sgd.step(first, np.array([1.0]))
+        assert first[0] == pytest.approx(-1.0)
+        assert second[0] == pytest.approx(-1.1)
+
+
+def test_registry():
+    assert isinstance(get_optimizer("adam"), Adam)
+    assert set(available_optimizers()) == {
+        "sgd",
+        "momentum",
+        "nesterov",
+        "rmsprop",
+        "adam",
+    }
+    with pytest.raises(KeyError):
+        get_optimizer("lion")
+    instance = SGD(0.2)
+    assert get_optimizer(instance) is instance
+    with pytest.raises(ValueError):
+        get_optimizer(instance, learning_rate=0.1)

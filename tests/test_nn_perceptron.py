@@ -1,0 +1,140 @@
+"""Single perceptrons and the paper's Section 2.2 geometric constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.perceptron import (
+    Perceptron,
+    and_perceptron,
+    confinement_network,
+    not_perceptron,
+    or_perceptron,
+)
+
+
+class TestPerceptron:
+    def test_figure1_semantics(self):
+        # y = f(sum w_i x_i - w0); with hard limiter and w=(1,1), w0=1.5
+        # this is the AND gate.
+        p = Perceptron([1.0, 1.0], threshold=1.5)
+        assert p([1.0, 1.0])[0] == 1.0
+        assert p([1.0, 0.0])[0] == 0.0
+
+    def test_batch_evaluation(self):
+        p = Perceptron([1.0, -1.0], threshold=0.0)
+        out = p(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_decision_distance_is_signed_euclidean(self):
+        # Hyperplane x + y = 2 has distance sqrt(2) from the origin.
+        p = Perceptron([1.0, 1.0], threshold=2.0)
+        d = p.decision_distance(np.array([0.0, 0.0]))[0]
+        assert d == pytest.approx(-np.sqrt(2.0))
+
+    def test_zero_weights_have_no_hyperplane(self):
+        with pytest.raises(ValueError):
+            Perceptron([0.0, 0.0]).decision_distance(np.array([1.0, 1.0]))
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Perceptron([])
+
+    def test_input_width_checked(self):
+        with pytest.raises(ValueError):
+            Perceptron([1.0, 1.0])(np.array([1.0, 2.0, 3.0]))
+
+
+class TestLearning:
+    def test_learns_linearly_separable_data(self):
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([0.0, 0.0, 0.0, 1.0])  # AND
+        p = Perceptron([0.0, 0.0], threshold=0.0)
+        epochs = p.fit(x, y, max_epochs=50)
+        assert epochs < 50
+        np.testing.assert_allclose(p(x), y)
+
+    def test_learning_requires_hard_limiter(self):
+        p = Perceptron([0.0], activation="logistic")
+        with pytest.raises(ValueError, match="hard limiter"):
+            p.fit(np.array([[0.0]]), np.array([0.0]))
+
+    def test_learning_rejects_non_binary_targets(self):
+        p = Perceptron([0.0])
+        with pytest.raises(ValueError, match="0/1"):
+            p.fit(np.array([[1.0]]), np.array([0.5]))
+
+    def test_xor_does_not_converge(self):
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        p = Perceptron([0.0, 0.0], threshold=0.0)
+        epochs = p.fit(x, y, max_epochs=30)
+        assert epochs == 30  # hit the cap: XOR is not linearly separable
+
+
+class TestPaperConstructions:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_and_gate(self, n):
+        gate = and_perceptron(n)
+        all_ones = np.ones((1, n))
+        assert gate(all_ones)[0] == 1.0
+        for flipped in range(n):
+            bits = np.ones((1, n))
+            bits[0, flipped] = 0.0
+            assert gate(bits)[0] == 0.0
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_or_gate(self, n):
+        gate = or_perceptron(n)
+        assert gate(np.zeros((1, n)))[0] == 0.0
+        for hot in range(n):
+            bits = np.zeros((1, n))
+            bits[0, hot] = 1.0
+            assert gate(bits)[0] == 1.0
+
+    def test_not_gate(self):
+        gate = not_perceptron()
+        assert gate([0.0])[0] == 1.0
+        assert gate([1.0])[0] == 0.0
+
+    def test_and_margin_validated(self):
+        with pytest.raises(ValueError):
+            and_perceptron(3, margin=1.5)
+
+    def test_confinement_indicates_box(self):
+        # 2n perceptrons + an AND node carve an n-dimensional box
+        # (paper: "usually 2n perceptrons are needed to create a
+        # confinement in an n dimensional space").
+        box = confinement_network([0.0, 0.0], [1.0, 2.0])
+        assert len(box.half_spaces) == 4
+        assert box(np.array([0.5, 1.0]))[0] == 1.0
+        assert box(np.array([1.5, 1.0]))[0] == 0.0
+        assert box(np.array([0.5, -0.1]))[0] == 0.0
+
+    def test_confinement_boundary_is_inside(self):
+        box = confinement_network([0.0], [1.0])
+        assert box(np.array([0.0]))[0] == 1.0
+        assert box(np.array([1.0]))[0] == 1.0
+
+    def test_confinement_validates_bounds(self):
+        with pytest.raises(ValueError):
+            confinement_network([1.0], [0.0])
+        with pytest.raises(ValueError):
+            confinement_network([0.0, 0.0], [1.0])
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-5, max_value=5), min_size=2, max_size=2
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_confinement_matches_interval_arithmetic(point):
+    """The perceptron box agrees with direct bound checks everywhere."""
+    lower = np.array([-1.0, 0.5])
+    upper = np.array([2.0, 3.0])
+    box = confinement_network(lower, upper)
+    p = np.array(point)
+    expected = float(np.all(p >= lower) and np.all(p <= upper))
+    assert box(p)[0] == expected

@@ -1,0 +1,139 @@
+"""RBF networks, k-means, and the logarithmic extrapolation network."""
+
+import numpy as np
+import pytest
+
+from repro.nn.logarithmic import LogarithmicNetwork
+from repro.nn.mlp import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.rbf import RBFNetwork, kmeans
+from repro.nn.training import Trainer
+
+
+class TestKMeans:
+    def test_finds_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=[0, 0], scale=0.1, size=(30, 2))
+        b = rng.normal(loc=[5, 5], scale=0.1, size=(30, 2))
+        centers = kmeans(np.vstack([a, b]), 2, np.random.default_rng(1))
+        centers = centers[np.argsort(centers[:, 0])]
+        np.testing.assert_allclose(centers[0], [0, 0], atol=0.2)
+        np.testing.assert_allclose(centers[1], [5, 5], atol=0.2)
+
+    def test_k_equals_n_returns_points(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        centers = kmeans(x, 3, np.random.default_rng(0))
+        assert sorted(centers.ravel().tolist()) == [0.0, 1.0, 2.0]
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((2, 1)), 3, np.random.default_rng(0))
+
+    def test_duplicate_points_keep_k_centers(self):
+        x = np.zeros((10, 2))
+        x[0] = [1.0, 1.0]
+        centers = kmeans(x, 2, np.random.default_rng(0))
+        assert centers.shape == (2, 2)
+
+
+class TestRBFNetwork:
+    def test_interpolates_training_points(self, tiny_regression_data):
+        x, y = tiny_regression_data
+        net = RBFNetwork(n_centers=30, ridge=1e-10, seed=0).fit(x, y)
+        mse = float(np.mean((net.predict(x) - y) ** 2))
+        assert mse < 1e-3
+
+    def test_multi_output(self, tiny_regression_data):
+        x, y = tiny_regression_data
+        net = RBFNetwork(n_centers=10, seed=0).fit(x, y)
+        assert net.predict(x).shape == y.shape
+
+    def test_centers_capped_at_sample_count(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 1.0, 4.0])
+        net = RBFNetwork(n_centers=50, seed=0).fit(x, y)
+        assert net.centers_.shape[0] == 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RBFNetwork().predict(np.zeros((1, 2)))
+
+    def test_explicit_width_used(self, tiny_regression_data):
+        x, y = tiny_regression_data
+        net = RBFNetwork(n_centers=5, width=2.5, seed=0).fit(x, y)
+        assert net.width_ == 2.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RBFNetwork(n_centers=0)
+        with pytest.raises(ValueError):
+            RBFNetwork(width=0.0)
+        with pytest.raises(ValueError):
+            RBFNetwork(ridge=-1.0)
+
+    def test_sample_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RBFNetwork().fit(np.zeros((3, 2)), np.zeros((4, 1)))
+
+
+class TestLogarithmicNetwork:
+    def test_fits_logarithmic_function(self):
+        x = np.linspace(1.0, 50.0, 60).reshape(-1, 1)
+        y = np.log(x)
+        net = LogarithmicNetwork(1, 1, seed=0).fit(x, y, max_epochs=1500)
+        mse = float(np.mean((net.predict(x) - y) ** 2))
+        assert mse < 0.05
+
+    def test_extrapolates_beyond_training_range(self):
+        """The paper's stated MLP weakness and the ref-[23] remedy.
+
+        A logistic MLP saturates outside its training range; the
+        logarithmic network keeps growing.  Train both on an unbounded
+        logarithmic curve over [1, 100] and compare at 400.
+        """
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1.0, 100.0, size=(80, 1))
+        y = 3.0 * np.log1p(x)
+
+        log_net = LogarithmicNetwork(
+            1, 1, include_linear_features=False, seed=0
+        ).fit(x, y, max_epochs=2500)
+
+        mlp = MLP([1, 16, 1], seed=0)
+        scaled_x = (x - x.mean()) / x.std()
+        Trainer(mlp, optimizer=Adam(learning_rate=0.01), seed=0).fit(
+            scaled_x, y, max_epochs=2500
+        )
+
+        far = np.array([[400.0]])
+        truth = 3.0 * np.log1p(400.0)
+        log_error = abs(float(log_net.predict(far)[0, 0]) - truth)
+        mlp_error = abs(
+            float(mlp.predict((far - x.mean()) / x.std())[0, 0]) - truth
+        )
+        assert log_error < mlp_error
+
+    def test_predict_shape(self):
+        x = np.abs(np.random.default_rng(0).normal(size=(20, 3))) + 1.0
+        y = np.column_stack([x.sum(axis=1), x.prod(axis=1) ** 0.25])
+        net = LogarithmicNetwork(3, 2, seed=0).fit(x, y, max_epochs=50)
+        assert net.predict(x).shape == (20, 2)
+
+    def test_handles_nonpositive_inputs_via_shift(self):
+        x = np.linspace(-5.0, 5.0, 40).reshape(-1, 1)
+        y = x**2
+        net = LogarithmicNetwork(1, 1, seed=0).fit(x, y, max_epochs=200)
+        assert np.all(np.isfinite(net.predict(x)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogarithmicNetwork(1, 1).predict(np.zeros((1, 1)))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            LogarithmicNetwork(0, 1)
+        net = LogarithmicNetwork(2, 1, seed=0).fit(
+            np.ones((5, 2)), np.ones((5, 1)), max_epochs=5
+        )
+        with pytest.raises(ValueError):
+            net.predict(np.ones((2, 3)))

@@ -1,0 +1,202 @@
+"""Trainer, stopping rules and training history."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.training import (
+    EarlyStopping,
+    ErrorThreshold,
+    History,
+    MaxEpochs,
+    Trainer,
+)
+
+
+def make_trainer(seed=0, **kwargs):
+    net = MLP([2, 6, 1], seed=seed)
+    defaults = dict(optimizer=Adam(learning_rate=0.02), seed=seed)
+    defaults.update(kwargs)
+    return Trainer(net, **defaults)
+
+
+def linear_data(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = (x[:, :1] + 0.5 * x[:, 1:2])
+    return x, y
+
+
+class TestBasicTraining:
+    def test_loss_decreases(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        result = trainer.fit(x, y, max_epochs=100)
+        assert result.history.train_loss[-1] < result.history.train_loss[0]
+
+    def test_runs_to_max_epochs_without_rules(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        result = trainer.fit(x, y, max_epochs=7)
+        assert result.epochs_run == 7
+        assert result.stopped_by == "max_epochs"
+
+    def test_mini_batch_mode(self):
+        trainer = make_trainer(batch_size=4)
+        x, y = linear_data()
+        result = trainer.fit(x, y, max_epochs=30)
+        assert result.history.final_train_loss < 0.2
+
+    def test_1d_targets_accepted(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        trainer.fit(x, y.ravel(), max_epochs=2)
+
+    def test_empty_data_rejected(self):
+        trainer = make_trainer()
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, 2)), np.zeros((0, 1)), max_epochs=1)
+
+    def test_sample_count_mismatch_rejected(self):
+        trainer = make_trainer()
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((3, 2)), np.zeros((4, 1)), max_epochs=1)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            make_trainer(batch_size=0)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            make_trainer(l2=-0.1)
+
+
+class TestErrorThreshold:
+    def test_stops_when_loose_threshold_met(self):
+        """The paper's loose-fit rule halts training early."""
+        trainer = make_trainer()
+        x, y = linear_data()
+        result = trainer.fit(
+            x, y, max_epochs=2000, stopping=ErrorThreshold(0.05)
+        )
+        assert result.stopped_by == "error_threshold"
+        assert result.epochs_run < 2000
+        assert result.history.final_train_loss <= 0.05
+
+    def test_looser_threshold_stops_earlier(self):
+        x, y = linear_data()
+        loose = make_trainer().fit(
+            x, y, max_epochs=2000, stopping=ErrorThreshold(0.1)
+        )
+        tight = make_trainer().fit(
+            x, y, max_epochs=2000, stopping=ErrorThreshold(0.001)
+        )
+        assert loose.epochs_run < tight.epochs_run
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorThreshold(-0.1)
+
+
+class TestEarlyStopping:
+    def test_requires_validation_data(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        with pytest.raises(RuntimeError, match="validation"):
+            trainer.fit(x, y, max_epochs=5, stopping=EarlyStopping(patience=2))
+
+    def test_stops_on_stale_validation(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        x_val, y_val = linear_data(n=8, seed=1)
+        result = trainer.fit(
+            x,
+            y,
+            max_epochs=3000,
+            stopping=EarlyStopping(patience=15),
+            validation_data=(x_val, y_val),
+        )
+        assert result.stopped_by in ("early_stopping", "max_epochs")
+        assert result.history.validation_loss
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+
+
+class TestRules:
+    def test_max_epochs_rule(self):
+        history = History(train_loss=[1.0, 0.5, 0.2])
+        assert MaxEpochs(3).should_stop(history)
+        assert not MaxEpochs(4).should_stop(history)
+
+    def test_multiple_rules_first_fired_reported(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        result = trainer.fit(
+            x,
+            y,
+            max_epochs=100,
+            stopping=[ErrorThreshold(1e9), MaxEpochs(3)],
+        )
+        # The huge threshold fires immediately after epoch 1.
+        assert result.stopped_by == "error_threshold"
+        assert result.epochs_run == 1
+
+    def test_non_rule_rejected(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        with pytest.raises(TypeError):
+            trainer.fit(x, y, max_epochs=1, stopping=["not-a-rule"])
+
+
+class TestHistoryAndCallbacks:
+    def test_history_lengths(self):
+        trainer = make_trainer()
+        x, y = linear_data()
+        result = trainer.fit(x, y, max_epochs=5)
+        assert len(result.history.train_loss) == 5
+        assert len(result.history.learning_rate) == 5
+        assert math.isnan(result.history.final_validation_loss)
+
+    def test_best_validation_epoch(self):
+        history = History(validation_loss=[3.0, 1.0, 2.0])
+        assert history.best_validation_epoch == 1
+        assert History().best_validation_epoch is None
+
+    def test_callbacks_invoked_each_epoch(self):
+        seen = []
+        trainer = make_trainer()
+        x, y = linear_data()
+        trainer.fit(
+            x,
+            y,
+            max_epochs=4,
+            callbacks=[lambda epoch, history: seen.append(epoch)],
+        )
+        assert seen == [0, 1, 2, 3]
+
+
+class TestRegularization:
+    def test_l2_shrinks_weights(self):
+        x, y = linear_data()
+        plain = make_trainer(seed=3)
+        decayed = make_trainer(seed=3, l2=0.1)
+        plain.fit(x, y, max_epochs=300)
+        decayed.fit(x, y, max_epochs=300)
+        plain_norm = np.linalg.norm(plain.model.get_flat_params())
+        decayed_norm = np.linalg.norm(decayed.model.get_flat_params())
+        assert decayed_norm < plain_norm
+
+
+def test_evaluate_reports_current_loss():
+    trainer = make_trainer()
+    x, y = linear_data()
+    before = trainer.evaluate(x, y)
+    trainer.fit(x, y, max_epochs=50)
+    assert trainer.evaluate(x, y) < before

@@ -1,0 +1,78 @@
+"""The one-shot characterization report generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import characterize
+from repro.models.neural import NeuralWorkloadModel
+from repro.workload.dataset import Dataset
+from repro.workload.sampler import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    latin_hypercube,
+)
+from repro.workload.service import OUTPUT_NAMES, ThreeTierWorkload
+
+
+@pytest.fixture(scope="module")
+def small_collection():
+    space = ConfigSpace(
+        [
+            ParameterRange("injection_rate", 300, 450),
+            ParameterRange("default_threads", 6, 20),
+            ParameterRange("mfg_threads", 12, 20),
+            ParameterRange("web_threads", 15, 22),
+        ]
+    )
+    workload = ThreeTierWorkload(warmup=0.5, duration=2.0, seed=4)
+    dataset = SampleCollector(workload).collect(
+        latin_hypercube(space, 20, seed=4)
+    )
+    dataset.y = np.maximum(dataset.y, 1e-3)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def report(small_collection):
+    model = NeuralWorkloadModel(
+        hidden=(10,), error_threshold=0.02, max_epochs=1200, seed=0
+    )
+    return characterize(
+        small_collection,
+        model=model,
+        response_limits={"dealer_browse_rt": 0.2},
+        cv_folds=4,
+        seed=0,
+    )
+
+
+class TestCharacterize:
+    def test_contains_every_section(self, report):
+        for heading in (
+            "# Workload characterization report",
+            "## Model accuracy",
+            "## Surface shapes",
+            "## Parameter sensitivities",
+            "## Local effects",
+            "## Recommended configurations",
+            "## Pareto frontier",
+        ):
+            assert heading in report.text, heading
+
+    def test_accuracy_recorded(self, report):
+        assert 0.0 < report.accuracy <= 1.0
+
+    def test_every_indicator_classified(self, report):
+        assert set(report.surface_kinds) == set(OUTPUT_NAMES)
+
+    def test_save(self, report, tmp_path):
+        path = report.save(tmp_path / "report.md")
+        assert path.read_text() == report.text
+
+    def test_rejects_wrong_input_count(self):
+        bad = Dataset(
+            np.zeros((6, 2)), np.ones((6, 5)), input_names=["a", "b"]
+        )
+        with pytest.raises(ValueError, match="canonical"):
+            characterize(bad)

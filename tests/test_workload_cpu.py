@@ -1,0 +1,185 @@
+"""The multicore round-robin CPU scheduler."""
+
+import pytest
+
+from repro.workload.cpu import CpuJob, Execute, MultiCoreCpu
+from repro.workload.des import Delay, Simulator
+
+
+def burn(sim, cpu, work, done, name=""):
+    def flow():
+        yield Execute(cpu, work)
+        done.append((name or "job", sim.now))
+
+    return flow()
+
+
+def make_cpu(sim, **kwargs):
+    defaults = dict(cores=2, quantum=1.0, switch_cost=0.0, pollution_factor=0.0)
+    defaults.update(kwargs)
+    return MultiCoreCpu(sim, **defaults)
+
+
+class TestBasicExecution:
+    def test_single_job_takes_its_service_time(self):
+        sim = Simulator()
+        cpu = make_cpu(sim)
+        done = []
+        sim.spawn(burn(sim, cpu, 3.0, done))
+        sim.run()
+        assert done[0][1] == pytest.approx(3.0)
+
+    def test_jobs_up_to_core_count_run_in_parallel(self):
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=2)
+        done = []
+        sim.spawn(burn(sim, cpu, 2.0, done, "a"))
+        sim.spawn(burn(sim, cpu, 2.0, done, "b"))
+        sim.run()
+        assert all(t == pytest.approx(2.0) for _, t in done)
+
+    def test_excess_jobs_share_via_round_robin(self):
+        # 3 equal jobs on 2 cores with quantum 1: total work 6 over 2
+        # cores -> everything done by t=3, nothing before t=2.
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=2, quantum=1.0)
+        done = []
+        for name in "abc":
+            sim.spawn(burn(sim, cpu, 2.0, done, name))
+        sim.run()
+        finish_times = sorted(t for _, t in done)
+        assert finish_times[-1] == pytest.approx(3.0)
+        assert finish_times[0] >= 2.0 - 1e-12
+
+    def test_round_robin_interleaves_fairly(self):
+        # A long and a short job on 1 core: the short job should not wait
+        # for the long one to finish completely (preemption at quantum).
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=1, quantum=1.0)
+        done = []
+        sim.spawn(burn(sim, cpu, 10.0, done, "long"))
+        sim.spawn(burn(sim, cpu, 1.0, done, "short"))
+        sim.run()
+        short_finish = dict((n, t) for n, t in done)["short"]
+        assert short_finish < 5.0
+
+    def test_zero_work_completes_immediately(self):
+        sim = Simulator()
+        cpu = make_cpu(sim)
+        done = []
+        sim.spawn(burn(sim, cpu, 0.0, done))
+        sim.run()
+        assert done[0][1] == 0.0
+        assert cpu.total_dispatches == 0
+
+    def test_negative_work_rejected(self):
+        sim = Simulator()
+        cpu = make_cpu(sim)
+        with pytest.raises(ValueError):
+            Execute(cpu, -1.0)
+
+
+class TestOverhead:
+    def test_switch_cost_charged_per_dispatch(self):
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=1, quantum=1.0, switch_cost=0.1)
+        done = []
+        sim.spawn(burn(sim, cpu, 3.0, done))  # 3 quanta
+        sim.run()
+        assert done[0][1] == pytest.approx(3.0 + 3 * 0.1)
+        assert cpu.total_overhead == pytest.approx(0.3)
+        assert cpu.total_dispatches == 3
+
+    def test_pollution_engages_above_half_cores(self):
+        sim = Simulator()
+        cpu = make_cpu(
+            sim, cores=4, switch_cost=0.01, pollution_factor=1.0, excess_cap=10
+        )
+        # threshold = cores // 2 = 2
+        assert cpu.dispatch_overhead(runnable=2) == pytest.approx(0.01)
+        assert cpu.dispatch_overhead(runnable=3) == pytest.approx(0.02)
+        assert cpu.dispatch_overhead(runnable=6) == pytest.approx(0.05)
+
+    def test_pollution_saturates_at_cap(self):
+        sim = Simulator()
+        cpu = make_cpu(
+            sim, cores=4, switch_cost=0.01, pollution_factor=1.0, excess_cap=3
+        )
+        assert cpu.dispatch_overhead(runnable=100) == pytest.approx(
+            0.01 * (1 + 3)
+        )
+
+    def test_contention_slows_completion(self):
+        def total_time(n_jobs):
+            sim = Simulator()
+            cpu = make_cpu(
+                sim,
+                cores=2,
+                switch_cost=0.05,
+                pollution_factor=0.5,
+                quantum=0.5,
+            )
+            done = []
+            for i in range(n_jobs):
+                sim.spawn(burn(sim, cpu, 1.0, done, str(i)))
+            sim.run()
+            return max(t for _, t in done) / n_jobs  # time per job
+
+        # Per-job completion time grows when jobs exceed cores.
+        assert total_time(8) > total_time(2)
+
+
+class TestAccounting:
+    def test_work_conservation(self):
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=3, quantum=0.7)
+        done = []
+        works = [0.5, 1.3, 2.1, 0.9]
+        for i, work in enumerate(works):
+            sim.spawn(burn(sim, cpu, work, done, str(i)))
+        sim.run()
+        assert cpu.total_work_done == pytest.approx(sum(works))
+
+    def test_utilization_bounds(self):
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=2)
+        done = []
+        sim.spawn(burn(sim, cpu, 4.0, done))
+        sim.run_until(8.0)
+        # One core busy 4s of 8s over 2 cores -> 0.25.
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_runnable_count(self):
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=1)
+        for _ in range(3):
+            sim.spawn(burn(sim, cpu, 1.0, []))
+        sim.run_until(0.5)
+        assert cpu.runnable == 3
+
+    def test_job_dispatch_counts(self):
+        sim = Simulator()
+        cpu = make_cpu(sim, cores=1, quantum=1.0)
+        job = None
+
+        def flow():
+            yield Execute(cpu, 2.5)
+
+        process = sim.spawn(flow())
+        sim.run()
+        assert cpu.total_dispatches == 3  # ceil(2.5 / 1.0)
+
+
+class TestValidation:
+    def test_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            MultiCoreCpu(sim, cores=0)
+        with pytest.raises(ValueError):
+            MultiCoreCpu(sim, quantum=0.0)
+        with pytest.raises(ValueError):
+            MultiCoreCpu(sim, switch_cost=-1.0)
+        with pytest.raises(ValueError):
+            MultiCoreCpu(sim, pollution_factor=-0.1)
+        with pytest.raises(ValueError):
+            MultiCoreCpu(sim, excess_cap=-1)

@@ -1,0 +1,208 @@
+"""Latency breakdown, capacity planning, and the closed-loop driver."""
+
+import numpy as np
+import pytest
+
+from repro.workload.appserver import AppServer
+from repro.workload.breakdown import (
+    DOMAIN_STAGE,
+    WEB_STAGE,
+    breakdown,
+)
+from repro.workload.capacity import CapacityPlanner
+from repro.workload.closedloop import ClosedLoopDriver
+from repro.workload.database import Database
+from repro.workload.des import Simulator
+from repro.workload.distributions import Deterministic
+from repro.workload.service import ThreeTierWorkload, WorkloadConfig
+from repro.workload.transactions import standard_mix
+
+
+@pytest.fixture(scope="module")
+def traced_metrics():
+    workload = ThreeTierWorkload(
+        warmup=0.5, duration=3.0, seed=5, collect_transactions=True
+    )
+    return workload.run(WorkloadConfig(400, 14, 16, 18))
+
+
+class TestBreakdown:
+    def test_metrics_expose_transactions_when_asked(self, traced_metrics):
+        assert traced_metrics.transactions is not None
+        assert len(traced_metrics.transactions) == traced_metrics.completed
+
+    def test_transactions_not_kept_by_default(self, fast_workload, nominal_config):
+        metrics = fast_workload.run(nominal_config)
+        assert metrics.transactions is None
+
+    def test_every_class_decomposed(self, traced_metrics):
+        result = breakdown(traced_metrics.transactions)
+        assert set(result.classes()) == {c.name for c in standard_mix()}
+
+    def test_shares_sum_to_one(self, traced_metrics):
+        result = breakdown(traced_metrics.transactions)
+        for name in result.classes():
+            total = sum(s.share for s in result[name].stages)
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_stage_means_sum_to_response_time(self, traced_metrics):
+        result = breakdown(traced_metrics.transactions)
+        for name in result.classes():
+            cls_breakdown = result[name]
+            total = sum(s.mean_seconds for s in cls_breakdown.stages)
+            assert total == pytest.approx(
+                cls_breakdown.mean_response_time, rel=1e-9
+            )
+
+    def test_dealer_time_is_in_the_web_stage(self, traced_metrics):
+        result = breakdown(traced_metrics.transactions)
+        dealer = result["dealer_browse"]
+        assert dealer.dominant_stage().stage == WEB_STAGE
+
+    def test_background_time_is_in_the_domain_stage(self, traced_metrics):
+        result = breakdown(traced_metrics.transactions)
+        misc = result["misc_background"]
+        assert misc.dominant_stage().stage == DOMAIN_STAGE
+
+    def test_text_rendering(self, traced_metrics):
+        text = breakdown(traced_metrics.transactions).to_text()
+        assert "web_queue_wait" in text and "%" in text
+
+    def test_incomplete_transactions_skipped(self, traced_metrics):
+        from repro.workload.transactions import Transaction
+
+        pending = Transaction(txn_class=standard_mix()[0], arrived_at=0.0)
+        result = breakdown([pending])
+        assert result.classes() == []
+
+
+class TestCapacityPlanner:
+    def test_plan_has_every_pool(self):
+        report = CapacityPlanner().plan(560)
+        assert set(report.pools) == {"web", "mfg", "default"}
+
+    def test_busy_threads_scale_linearly_with_rate(self):
+        planner = CapacityPlanner()
+        half = planner.pool_busy_threads("web", 280)
+        full = planner.pool_busy_threads("web", 560)
+        assert full == pytest.approx(2 * half)
+
+    def test_plan_matches_simulator_pool_usage(self, fast_workload):
+        """First-order busy threads track the simulated time-average."""
+        config = WorkloadConfig(400, 16, 16, 20)
+        metrics = fast_workload.run(config)
+        planner = CapacityPlanner()
+        for pool in ("web", "default", "mfg"):
+            simulated_busy = (
+                metrics.pool_utilization[pool]
+                * {"web": 20, "default": 16, "mfg": 16}[pool]
+            )
+            planned = planner.pool_busy_threads(pool, 400)
+            assert planned == pytest.approx(simulated_busy, rel=0.35)
+
+    def test_cpu_estimate_tracks_simulator(self, fast_workload):
+        config = WorkloadConfig(400, 16, 16, 20)
+        metrics = fast_workload.run(config)
+        planned = CapacityPlanner().cpu_cores(400) / 8.0
+        # Simulated utilization includes contention overhead, so it should
+        # be >= the contention-free estimate but in the same band.
+        assert metrics.cpu_utilization >= planned * 0.9
+        assert metrics.cpu_utilization <= planned * 1.5
+
+    def test_max_rate_predicts_the_saturation_knee(self):
+        """The DES collapses just above 600/s; the first-order wall must be
+        in that neighbourhood."""
+        planner = CapacityPlanner(headroom=1.0)
+        assert 550 <= planner.max_injection_rate() <= 850
+
+    def test_bottleneck_identification(self):
+        planner = CapacityPlanner()
+        assert planner.bottleneck(WorkloadConfig(560, 2, 16, 18)) == "default"
+        assert planner.bottleneck(WorkloadConfig(560, 16, 16, 4)) == "web"
+        assert planner.bottleneck(WorkloadConfig(560, 16, 2, 18)) == "mfg"
+
+    def test_overload_note(self):
+        report = CapacityPlanner().plan(900)
+        assert any("exceeds" in note for note in report.notes)
+        assert not CapacityPlanner().plan(300).notes
+
+    def test_report_text(self):
+        text = CapacityPlanner().plan(560).to_text()
+        assert "web pool" in text and "max injection rate" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityPlanner(headroom=0.0)
+        with pytest.raises(ValueError):
+            CapacityPlanner().plan(0)
+
+
+class TestClosedLoopDriver:
+    def make(self, population, think_mean=0.05):
+        sim = Simulator()
+        db = Database(sim, connections=8, rng=np.random.default_rng(0))
+        server = AppServer(
+            sim,
+            db,
+            mfg_threads=8,
+            web_threads=12,
+            default_threads=8,
+            rng=np.random.default_rng(1),
+        )
+        driver = ClosedLoopDriver(
+            sim,
+            standard_mix(),
+            population=population,
+            handler=server.handle,
+            think_rng=np.random.default_rng(2),
+            mix_rng=np.random.default_rng(3),
+            think_time=Deterministic(think_mean),
+        )
+        return sim, driver
+
+    def test_concurrency_bounded_by_population(self):
+        sim, driver = self.make(population=5)
+        driver.start()
+        sim.run_until(5.0)
+        # At most N requests can ever be in flight; injected counts cycles.
+        completed = sum(1 for t in driver.transactions if t.is_complete)
+        assert driver.injected >= completed
+        in_flight = driver.injected - completed - sum(
+            1 for t in driver.transactions if t.is_abandoned
+        )
+        assert in_flight <= 5
+
+    def test_throughput_respects_interactive_law(self):
+        sim, driver = self.make(population=10, think_mean=0.1)
+        driver.start()
+        sim.run_until(10.0)
+        completed = [t for t in driver.transactions if t.is_complete]
+        throughput = len(completed) / 10.0
+        mean_rt = float(np.mean([t.response_time for t in completed]))
+        assert throughput <= driver.throughput_bound(mean_rt) * 1.05
+
+    def test_larger_population_more_throughput_until_saturation(self):
+        def tput(population):
+            sim, driver = self.make(population=population)
+            driver.start()
+            sim.run_until(5.0)
+            return sum(1 for t in driver.transactions if t.is_complete) / 5.0
+
+        assert tput(20) > tput(5)
+
+    def test_stop_retires_users(self):
+        sim, driver = self.make(population=3)
+        driver.start()
+        sim.run_until(1.0)
+        driver.stop()
+        count = driver.injected
+        sim.run_until(3.0)
+        # At most one final request per user was already in flight.
+        assert driver.injected <= count + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(population=0)
+        sim, driver = self.make(population=1)
+        with pytest.raises(ValueError):
+            driver.throughput_bound(-1.0)

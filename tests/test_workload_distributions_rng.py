@@ -1,0 +1,135 @@
+"""Random streams and sampling distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Geometric,
+    Hyperexponential,
+    LogNormal,
+    Uniform,
+    get_distribution,
+)
+from repro.workload.rng import StreamRegistry
+
+ALL = [
+    Deterministic(2.0),
+    Exponential(mean=0.5),
+    Erlang(mean=1.0, k=4),
+    Uniform(0.5, 1.5),
+    LogNormal(mean=2.0, sigma=0.5),
+    Hyperexponential(means=[0.1, 2.0], weights=[0.7, 0.3]),
+    Geometric(p=0.4),
+]
+
+
+class TestStreamRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = StreamRegistry(seed=1)
+        assert registry.stream("arrivals") is registry.stream("arrivals")
+
+    def test_streams_independent_of_creation_order(self):
+        a = StreamRegistry(seed=1)
+        b = StreamRegistry(seed=1)
+        a.stream("x")
+        first = a.stream("arrivals").normal(size=5)
+        second = b.stream("arrivals").normal(size=5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_names_differ(self):
+        registry = StreamRegistry(seed=1)
+        a = registry.stream("a").normal(size=5)
+        b = registry.stream("b").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = StreamRegistry(seed=1).stream("x").normal(size=5)
+        b = StreamRegistry(seed=2).stream("x").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRegistry().stream("")
+
+    def test_names_listing(self):
+        registry = StreamRegistry()
+        registry.stream("b")
+        registry.stream("a")
+        assert registry.names() == ["a", "b"]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+class TestDistributionContract:
+    def test_samples_nonnegative(self, dist, rng):
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(s >= 0 for s in samples)
+
+    def test_empirical_mean_matches_analytic(self, dist):
+        rng = np.random.default_rng(0)
+        samples = np.array([dist.sample(rng) for _ in range(8000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.08)
+
+
+class TestSpecifics:
+    def test_deterministic_is_constant(self, rng):
+        dist = Deterministic(1.5)
+        assert {dist.sample(rng) for _ in range(5)} == {1.5}
+
+    def test_erlang_less_variable_than_exponential(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        exponential = np.array(
+            [Exponential(1.0).sample(rng_a) for _ in range(4000)]
+        )
+        erlang = np.array([Erlang(1.0, k=8).sample(rng_b) for _ in range(4000)])
+        assert erlang.std() < exponential.std()
+
+    def test_hyperexponential_more_variable_than_exponential(self):
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)
+        hyper = Hyperexponential(means=[0.1, 10.0], weights=[0.9, 0.1])
+        exponential = Exponential(hyper.mean())
+        h = np.array([hyper.sample(rng_a) for _ in range(4000)])
+        e = np.array([exponential.sample(rng_b) for _ in range(4000)])
+        assert h.std() > e.std()
+
+    def test_uniform_bounds(self, rng):
+        dist = Uniform(1.0, 2.0)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert min(samples) >= 1.0 and max(samples) <= 2.0
+
+    def test_geometric_integers_at_least_one(self, rng):
+        dist = Geometric(0.5)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(s >= 1 and s == int(s) for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Erlang(1.0, k=0)
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            LogNormal(-1.0)
+        with pytest.raises(ValueError):
+            Hyperexponential([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            Hyperexponential([1.0, -1.0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            Geometric(0.0)
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+def test_registry():
+    assert isinstance(get_distribution("exponential", mean=1.0), Exponential)
+    instance = Uniform(0.0, 1.0)
+    assert get_distribution(instance) is instance
+    with pytest.raises(KeyError):
+        get_distribution("pareto")
+    with pytest.raises(ValueError):
+        get_distribution(instance, low=0.5)

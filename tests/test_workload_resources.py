@@ -1,0 +1,193 @@
+"""Resources: FIFO queueing, token accounting, abandonment, statistics."""
+
+import pytest
+
+from repro.workload.des import Delay, Simulator
+from repro.workload.resources import Acquire, Release, Resource
+
+
+def holder(sim, resource, hold_time, log=None, name=""):
+    """A process that holds one token for ``hold_time``."""
+
+    def flow():
+        granted = yield Acquire(resource)
+        assert granted
+        if log is not None:
+            log.append((name or "p", "acquired", sim.now))
+        yield Delay(hold_time)
+        yield Release(resource)
+        if log is not None:
+            log.append((name or "p", "released", sim.now))
+
+    return flow()
+
+
+class TestBasics:
+    def test_tokens_limit_concurrency(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        log = []
+        sim.spawn(holder(sim, resource, 2.0, log, "a"))
+        sim.spawn(holder(sim, resource, 2.0, log, "b"))
+        sim.run()
+        acquired = [entry for entry in log if entry[1] == "acquired"]
+        assert acquired[0][2] == 0.0
+        assert acquired[1][2] == 2.0  # waited for the first release
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        log = []
+        for name in ("a", "b", "c"):
+            sim.spawn(holder(sim, resource, 1.0, log, name))
+        sim.run()
+        order = [entry[0] for entry in log if entry[1] == "acquired"]
+        assert order == ["a", "b", "c"]
+
+    def test_capacity_respected(self):
+        sim = Simulator()
+        resource = Resource(sim, 3)
+        peak = []
+
+        def flow():
+            yield Acquire(resource)
+            peak.append(resource.in_use)
+            yield Delay(1.0)
+            yield Release(resource)
+
+        for _ in range(10):
+            sim.spawn(flow())
+        sim.run()
+        assert max(peak) == 3
+        assert resource.in_use == 0
+
+    def test_zero_capacity_acquire_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, 0)
+        sim.spawn(holder(sim, resource, 1.0))
+        with pytest.raises(RuntimeError, match="zero capacity"):
+            sim.run()
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+
+        def bad():
+            yield Release(resource)
+
+        sim.spawn(bad())
+        with pytest.raises(RuntimeError, match="none in use"):
+            sim.run()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), -1)
+
+
+class TestStatistics:
+    def test_wait_time_recorded(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        sim.spawn(holder(sim, resource, 5.0))
+        sim.spawn(holder(sim, resource, 1.0))
+        sim.run()
+        assert resource.total_wait_time == pytest.approx(5.0)
+        assert resource.total_acquisitions == 2
+
+    def test_mean_busy_integral(self):
+        sim = Simulator()
+        resource = Resource(sim, 2)
+        sim.spawn(holder(sim, resource, 4.0))
+        sim.run_until(8.0)
+        # One token held for 4 of 8 seconds -> mean busy 0.5.
+        assert resource.mean_busy() == pytest.approx(0.5)
+
+    def test_utilization(self):
+        sim = Simulator()
+        resource = Resource(sim, 2)
+        sim.spawn(holder(sim, resource, 4.0))
+        sim.run_until(8.0)
+        assert resource.utilization() == pytest.approx(0.25)
+
+    def test_max_queue_length(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        for _ in range(4):
+            sim.spawn(holder(sim, resource, 1.0))
+        sim.run()
+        assert resource.max_queue_length == 3
+
+
+class TestAbandonment:
+    def test_timeout_resumes_with_false(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        outcomes = []
+
+        def impatient():
+            granted = yield Acquire(resource, timeout=1.0)
+            outcomes.append(granted)
+
+        sim.spawn(holder(sim, resource, 10.0))
+        sim.spawn(impatient())
+        sim.run_until(5.0)
+        assert outcomes == [False]
+        assert resource.total_abandonments == 1
+
+    def test_granted_before_timeout(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        outcomes = []
+
+        def patient_enough():
+            granted = yield Acquire(resource, timeout=5.0)
+            outcomes.append((granted, sim.now))
+            yield Release(resource)
+
+        sim.spawn(holder(sim, resource, 2.0))
+        sim.spawn(patient_enough())
+        sim.run()
+        assert outcomes == [(True, 2.0)]
+        assert resource.total_abandonments == 0
+
+    def test_abandoned_waiter_not_granted_later(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        grants = []
+
+        def impatient():
+            granted = yield Acquire(resource, timeout=0.5)
+            grants.append(granted)
+
+        def patient():
+            granted = yield Acquire(resource)
+            grants.append(("patient", granted, sim.now))
+            yield Release(resource)
+
+        sim.spawn(holder(sim, resource, 2.0))
+        sim.spawn(impatient())
+        sim.spawn(patient())
+        sim.run()
+        assert False in grants
+        assert ("patient", True, 2.0) in grants
+        assert resource.in_use == 0
+
+    def test_abandonment_bounds_queue(self):
+        """With patience 1s and 1s service, the queue cannot grow without
+        bound even at 10x overload."""
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        for i in range(50):
+            def flow(i=i):
+                granted = yield Acquire(resource, timeout=1.0)
+                if granted:
+                    yield Delay(1.0)
+                    yield Release(resource)
+            sim.spawn(flow())
+        sim.run()
+        assert resource.total_abandonments > 0
+        assert resource.total_abandonments + resource.total_acquisitions == 50
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Acquire(Resource(Simulator(), 1), timeout=0.0)

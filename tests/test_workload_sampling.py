@@ -1,0 +1,322 @@
+"""Experiment designs, sample collection, datasets, analytic surrogate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.analytic import AnalyticWorkloadModel, erlang_c_wait
+from repro.workload.dataset import Dataset
+from repro.workload.sampler import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    full_factorial,
+    latin_hypercube,
+    random_design,
+)
+from repro.workload.service import OUTPUT_NAMES, WorkloadConfig
+
+
+class TestParameterRange:
+    def test_grid(self):
+        r = ParameterRange("web_threads", 14, 22)
+        np.testing.assert_allclose(r.grid(5), [14, 16, 18, 20, 22])
+
+    def test_single_level_is_midpoint(self):
+        r = ParameterRange("x", 0, 10)
+        np.testing.assert_allclose(r.grid(1), [5])
+
+    def test_integer_rounding(self, rng):
+        r = ParameterRange("threads", 1, 9)
+        values = r.sample(rng, 50)
+        np.testing.assert_allclose(values, np.round(values))
+
+    def test_float_ranges_not_rounded(self, rng):
+        r = ParameterRange("rate", 1.0, 2.0, integer=False)
+        values = r.sample(rng, 50)
+        assert np.any(values != np.round(values))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterRange("x", 5, 4)
+
+
+class TestConfigSpace:
+    def test_default_space_has_canonical_order(self):
+        space = ConfigSpace()
+        assert [r.name for r in space.ranges] == [
+            "injection_rate",
+            "default_threads",
+            "mfg_threads",
+            "web_threads",
+        ]
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(ValueError, match="canonical order"):
+            ConfigSpace(
+                [
+                    ParameterRange("default_threads", 0, 10),
+                    ParameterRange("injection_rate", 100, 200),
+                ]
+            )
+
+    def test_clip(self):
+        space = ConfigSpace()
+        clipped = space.clip(np.array([10000.0, -5.0, 16.4, 20.0]))
+        assert clipped[0] == space.ranges[0].high
+        assert clipped[1] == space.ranges[1].low
+        assert clipped[2] == 16.0
+
+
+class TestDesigns:
+    def test_full_factorial_size(self):
+        space = ConfigSpace()
+        configs = full_factorial(space, 3)
+        assert len(configs) == 3**4
+
+    def test_full_factorial_per_dimension_levels(self):
+        space = ConfigSpace()
+        configs = full_factorial(space, [2, 3, 1, 1])
+        assert len(configs) == 6
+
+    def test_random_design_within_bounds(self):
+        space = ConfigSpace()
+        for config in random_design(space, 30, seed=0):
+            vector = config.as_vector()
+            for value, r in zip(vector, space.ranges):
+                assert r.low <= value <= r.high
+
+    def test_latin_hypercube_stratification(self):
+        space = ConfigSpace(
+            [
+                ParameterRange("injection_rate", 0, 1000, integer=False),
+                ParameterRange("default_threads", 1, 1),
+                ParameterRange("mfg_threads", 1, 1),
+                ParameterRange("web_threads", 1, 1),
+            ]
+        )
+        configs = latin_hypercube(space, 10, seed=0)
+        rates = sorted(c.injection_rate for c in configs)
+        # One sample per decile of the swept axis.
+        for index, rate in enumerate(rates):
+            assert 100 * index <= rate <= 100 * (index + 1)
+
+    def test_designs_reproducible(self):
+        space = ConfigSpace()
+        a = latin_hypercube(space, 8, seed=5)
+        b = latin_hypercube(space, 8, seed=5)
+        assert a == b
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            random_design(ConfigSpace(), 0)
+        with pytest.raises(ValueError):
+            latin_hypercube(ConfigSpace(), 0)
+        with pytest.raises(ValueError):
+            full_factorial(ConfigSpace(), [2, 2])
+
+
+class TestDataset:
+    def make(self, n=6):
+        x = np.arange(n * 4, dtype=float).reshape(n, 4)
+        y = np.arange(n * 5, dtype=float).reshape(n, 5) + 100.0
+        return Dataset(x, y)
+
+    def test_len_and_dims(self):
+        ds = self.make()
+        assert len(ds) == 6
+        assert ds.n_inputs == 4
+        assert ds.n_outputs == 5
+
+    def test_default_names(self):
+        ds = self.make()
+        assert ds.output_names == OUTPUT_NAMES
+
+    def test_column_access(self):
+        ds = self.make()
+        np.testing.assert_array_equal(
+            ds.output_column("effective_tps"), ds.y[:, 4]
+        )
+        np.testing.assert_array_equal(
+            ds.input_column("injection_rate"), ds.x[:, 0]
+        )
+        with pytest.raises(KeyError):
+            ds.output_column("nope")
+
+    def test_subset_preserves_schema(self):
+        ds = self.make()
+        sub = ds.subset([4, 1])
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.x[0], ds.x[4])
+
+    def test_concat(self):
+        ds = self.make()
+        combined = ds.concat(ds)
+        assert len(combined) == 12
+
+    def test_concat_schema_mismatch(self):
+        ds = self.make()
+        other = Dataset(ds.x, ds.y, output_names=list("abcde"))
+        with pytest.raises(ValueError):
+            ds.concat(other)
+
+    def test_csv_round_trip(self, tmp_path):
+        ds = self.make()
+        path = ds.save_csv(tmp_path / "samples.csv")
+        loaded = Dataset.load_csv(path)
+        np.testing.assert_array_equal(loaded.x, ds.x)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+        assert loaded.output_names == ds.output_names
+
+    def test_csv_full_float_precision(self, tmp_path):
+        x = np.array([[1.0 / 3.0]])
+        y = np.array([[np.pi]])
+        ds = Dataset(x, y, input_names=["a"], output_names=["b"])
+        loaded = Dataset.load_csv(ds.save_csv(tmp_path / "p.csv"))
+        assert loaded.x[0, 0] == x[0, 0]
+        assert loaded.y[0, 0] == y[0, 0]
+
+    def test_configs_requires_four_inputs(self):
+        ds = Dataset(np.zeros((2, 3)), np.zeros((2, 5)), input_names=list("abc"))
+        with pytest.raises(ValueError):
+            ds.configs()
+
+    def test_configs_round_trip(self):
+        configs = [WorkloadConfig(500, 10, 16, 18), WorkloadConfig(400, 5, 12, 20)]
+        ds = Dataset(
+            np.vstack([c.as_vector() for c in configs]), np.zeros((2, 5))
+        )
+        assert ds.configs() == configs
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 4)), np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            Dataset(np.zeros(4), np.zeros(5))
+
+    def test_summary_mentions_columns(self):
+        text = self.make().summary()
+        assert "injection_rate" in text and "effective_tps" in text
+
+
+class TestSampleCollector:
+    def test_collects_from_analytic_backend(self):
+        configs = [WorkloadConfig(400, 10, 16, 18), WorkloadConfig(450, 12, 16, 20)]
+        ds = SampleCollector(AnalyticWorkloadModel()).collect(configs)
+        assert len(ds) == 2
+        assert ds.n_outputs == 5
+
+    def test_collects_from_simulator_backend(self, fast_workload):
+        configs = [WorkloadConfig(300, 10, 16, 18)]
+        ds = SampleCollector(fast_workload).collect(configs)
+        assert len(ds) == 1
+        assert np.all(np.isfinite(ds.y))
+
+    def test_cache_round_trip(self, tmp_path):
+        configs = [WorkloadConfig(400, 10, 16, 18)]
+        cache = tmp_path / "cache.csv"
+        first = SampleCollector(
+            AnalyticWorkloadModel(), cache_path=cache
+        ).collect(configs)
+        assert cache.exists()
+
+        class ExplodingBackend:
+            def run(self, config):
+                raise AssertionError("cache should have been used")
+
+        second = SampleCollector(ExplodingBackend(), cache_path=cache).collect(
+            configs
+        )
+        np.testing.assert_array_equal(first.y, second.y)
+
+    def test_progress_callback(self):
+        seen = []
+        configs = [WorkloadConfig(400, 10, 16, 18)] * 3
+        SampleCollector(AnalyticWorkloadModel()).collect(
+            configs, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(TypeError):
+            SampleCollector(object()).collect([WorkloadConfig(400, 1, 1, 1)])
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SampleCollector(AnalyticWorkloadModel()).collect([])
+
+
+class TestErlangC:
+    def test_zero_load_zero_wait(self):
+        assert erlang_c_wait(0.0, 1.0, 4) == 0.0
+
+    def test_mm1_closed_form(self):
+        # M/M/1: W_q = rho / (1 - rho) * S
+        rho = 0.5
+        wait = erlang_c_wait(rho, 1.0, 1)
+        assert wait == pytest.approx(rho / (1 - rho), rel=1e-9)
+
+    def test_wait_increases_with_load(self):
+        waits = [erlang_c_wait(lam, 1.0, 4) for lam in (1.0, 2.0, 3.0, 3.8)]
+        assert all(a < b for a, b in zip(waits, waits[1:]))
+
+    def test_more_servers_less_wait(self):
+        assert erlang_c_wait(3.0, 1.0, 8) < erlang_c_wait(3.0, 1.0, 4)
+
+    def test_saturated_is_finite(self):
+        assert np.isfinite(erlang_c_wait(100.0, 1.0, 4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c_wait(-1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            erlang_c_wait(1.0, 1.0, 0)
+
+
+class TestAnalyticModel:
+    def test_indicator_keys(self):
+        values = AnalyticWorkloadModel().evaluate(WorkloadConfig(400, 10, 16, 18))
+        assert set(values) == set(OUTPUT_NAMES)
+
+    def test_vector_matches_evaluate(self):
+        model = AnalyticWorkloadModel()
+        config = WorkloadConfig(450, 12, 16, 20)
+        values = model.evaluate(config)
+        np.testing.assert_allclose(
+            model.evaluate_vector(config),
+            [values[name] for name in OUTPUT_NAMES],
+        )
+
+    def test_starved_web_wall(self):
+        model = AnalyticWorkloadModel()
+        good = model.evaluate(WorkloadConfig(560, 12, 16, 18))
+        starved = model.evaluate(WorkloadConfig(560, 12, 16, 4))
+        assert starved["dealer_browse_rt"] > 3 * good["dealer_browse_rt"]
+
+    def test_misc_ramp_in_effective_tps(self):
+        model = AnalyticWorkloadModel()
+        no_default = model.evaluate(WorkloadConfig(560, 1, 16, 18))
+        ample = model.evaluate(WorkloadConfig(560, 16, 16, 18))
+        assert ample["effective_tps"] > no_default["effective_tps"]
+
+    def test_tracks_simulator_in_stable_region(self, fast_workload):
+        """Shared-nothing implementations agree within a factor of two on
+        a healthy configuration — a cross-validation of both."""
+        config = WorkloadConfig(400, 14, 16, 18)
+        simulated = fast_workload.run(config).as_vector()
+        analytic = AnalyticWorkloadModel().evaluate_vector(config)
+        for sim_value, model_value in zip(simulated, analytic):
+            assert model_value == pytest.approx(sim_value, rel=1.0)
+
+
+@given(
+    lam=st.floats(min_value=0.1, max_value=50.0),
+    service=st.floats(min_value=0.001, max_value=2.0),
+    servers=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_erlang_c_wait_nonnegative_finite(lam, service, servers):
+    wait = erlang_c_wait(lam, service, servers)
+    assert wait >= 0.0
+    assert np.isfinite(wait)

@@ -1,0 +1,192 @@
+"""The ThreeTierWorkload facade: configs, metrics, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.service import (
+    INPUT_NAMES,
+    OUTPUT_NAMES,
+    ThreeTierWorkload,
+    WorkloadConfig,
+)
+
+
+class TestWorkloadConfig:
+    def test_vector_round_trip(self, nominal_config):
+        rebuilt = WorkloadConfig.from_vector(nominal_config.as_vector())
+        assert rebuilt == nominal_config
+
+    def test_canonical_order_matches_paper_caption(self):
+        # The paper's 4-tuple is (injection rate, default, mfg, web).
+        assert INPUT_NAMES == [
+            "injection_rate",
+            "default_threads",
+            "mfg_threads",
+            "web_threads",
+        ]
+        config = WorkloadConfig(560, 7, 16, 20)
+        np.testing.assert_allclose(config.as_vector(), [560, 7, 16, 20])
+
+    def test_from_vector_rounds_thread_counts(self):
+        config = WorkloadConfig.from_vector([500.0, 9.6, 15.4, 20.0])
+        assert config.default_threads == 10
+        assert config.mfg_threads == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(0.0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(100.0, -1, 1, 1)
+        with pytest.raises(ValueError):
+            WorkloadConfig.from_vector([1.0, 2.0, 3.0])
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        workload = ThreeTierWorkload(warmup=0.5, duration=3.0, seed=7)
+        return workload.run(
+            WorkloadConfig(
+                injection_rate=400,
+                default_threads=14,
+                mfg_threads=16,
+                web_threads=18,
+            )
+        )
+
+    def test_all_five_indicators_present(self, metrics):
+        assert set(metrics.indicators) == set(OUTPUT_NAMES)
+
+    def test_vector_order(self, metrics):
+        vector = metrics.as_vector()
+        assert vector.shape == (5,)
+        assert vector[4] == metrics.indicators["effective_tps"]
+
+    def test_response_times_positive_and_plausible(self, metrics):
+        for name in OUTPUT_NAMES[:4]:
+            assert 0.001 < metrics.indicators[name] < 5.0
+
+    def test_effective_throughput_bounded_by_injection(self, metrics):
+        assert 0 <= metrics.indicators["effective_tps"] <= 400 * 1.3
+
+    def test_effective_not_above_raw_throughput(self, metrics):
+        assert metrics.indicators["effective_tps"] <= metrics.raw_tps + 1e-9
+
+    def test_completion_accounting(self, metrics):
+        assert metrics.completed + metrics.abandoned <= metrics.injected
+
+    def test_per_class_stats(self, metrics):
+        for stats in metrics.per_class.values():
+            assert 0.0 <= stats.deadline_hit_rate <= 1.0
+            if stats.completed:
+                assert stats.p50 <= stats.p90 <= stats.p99
+
+    def test_response_at_least_service_floor(self, metrics):
+        # Mfg transactions need web io + cpu + 2 db calls; anything below
+        # ~20ms would indicate the flow is skipping stages.
+        assert metrics.indicators["manufacturing_rt"] > 0.02
+
+    def test_utilizations_bounded(self, metrics):
+        assert 0.0 <= metrics.cpu_utilization <= 1.0
+        for value in metrics.pool_utilization.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, nominal_config):
+        a = ThreeTierWorkload(warmup=0.5, duration=2.0, seed=3).run(
+            nominal_config
+        )
+        b = ThreeTierWorkload(warmup=0.5, duration=2.0, seed=3).run(
+            nominal_config
+        )
+        np.testing.assert_array_equal(a.as_vector(), b.as_vector())
+        assert a.events_executed == b.events_executed
+
+    def test_different_seeds_differ(self, nominal_config):
+        a = ThreeTierWorkload(warmup=0.5, duration=2.0, seed=3).run(
+            nominal_config
+        )
+        b = ThreeTierWorkload(warmup=0.5, duration=2.0, seed=4).run(
+            nominal_config
+        )
+        assert not np.array_equal(a.as_vector(), b.as_vector())
+
+
+class TestQualitativeBehaviour:
+    """The phenomena the paper builds its case on, at test scale."""
+
+    def test_starved_web_queue_hurts_response_time(self, fast_workload):
+        good = fast_workload.run(WorkloadConfig(400, 14, 16, 18))
+        starved = fast_workload.run(WorkloadConfig(400, 14, 16, 2))
+        assert (
+            starved.indicators["dealer_browse_rt"]
+            > 2 * good.indicators["dealer_browse_rt"]
+        )
+
+    def test_starved_default_queue_spares_dealer_latency(self, fast_workload):
+        """Figure 7's floor passes through default = 0: dealer response
+        times do not require default threads."""
+        good = fast_workload.run(WorkloadConfig(400, 14, 16, 18))
+        starved = fast_workload.run(WorkloadConfig(400, 1, 16, 18))
+        assert starved.indicators["dealer_browse_rt"] < (
+            1.5 * good.indicators["dealer_browse_rt"]
+        )
+
+    def test_starved_default_queue_cuts_effective_throughput(
+        self, fast_workload
+    ):
+        good = fast_workload.run(WorkloadConfig(400, 14, 16, 18))
+        starved = fast_workload.run(WorkloadConfig(400, 1, 16, 18))
+        assert (
+            starved.indicators["effective_tps"]
+            < 0.9 * good.indicators["effective_tps"]
+        )
+
+    def test_higher_injection_raises_latency(self, fast_workload):
+        low = fast_workload.run(WorkloadConfig(250, 14, 16, 18))
+        high = fast_workload.run(WorkloadConfig(520, 14, 16, 18))
+        assert (
+            high.indicators["dealer_purchase_rt"]
+            > low.indicators["dealer_purchase_rt"]
+        )
+
+    def test_mfg_queue_starvation_hits_only_manufacturing(self, fast_workload):
+        good = fast_workload.run(WorkloadConfig(400, 14, 16, 18))
+        starved = fast_workload.run(WorkloadConfig(400, 14, 1, 18))
+        assert (
+            starved.indicators["manufacturing_rt"]
+            > 1.5 * good.indicators["manufacturing_rt"]
+        )
+        assert starved.indicators["dealer_browse_rt"] < (
+            1.5 * good.indicators["dealer_browse_rt"]
+        )
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            ThreeTierWorkload(warmup=-1.0)
+        with pytest.raises(ValueError):
+            ThreeTierWorkload(duration=0.0)
+
+
+@given(
+    injection=st.floats(min_value=100, max_value=500),
+    default=st.integers(min_value=0, max_value=24),
+    mfg=st.integers(min_value=1, max_value=24),
+    web=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=12, deadline=None)
+def test_invariants_hold_for_arbitrary_configs(injection, default, mfg, web):
+    """For any configuration: finite indicators, conservation, bounds."""
+    workload = ThreeTierWorkload(warmup=0.2, duration=1.0, seed=0)
+    metrics = workload.run(WorkloadConfig(injection, default, mfg, web))
+    vector = metrics.as_vector()
+    assert np.all(np.isfinite(vector))
+    assert np.all(vector >= 0)
+    assert metrics.completed + metrics.abandoned <= metrics.injected
+    assert metrics.effective_completed <= metrics.completed
+    assert 0.0 <= metrics.cpu_utilization <= 1.0

@@ -1,0 +1,320 @@
+"""Transactions, database tier, app server and load driver."""
+
+import numpy as np
+import pytest
+
+from repro.workload.appserver import AppServer, MachineSpec
+from repro.workload.database import Database
+from repro.workload.des import Simulator
+from repro.workload.distributions import Deterministic, Erlang
+from repro.workload.driver import LoadDriver
+from repro.workload.transactions import (
+    DEFAULT_QUEUE,
+    MFG_QUEUE,
+    Transaction,
+    TransactionClass,
+    standard_mix,
+)
+from repro.workload.transactions import validate_mix
+
+
+class TestTransactionClass:
+    def test_standard_mix_is_valid(self):
+        classes = standard_mix()
+        validate_mix(classes)
+        names = {c.name for c in classes}
+        assert {
+            "manufacturing",
+            "dealer_purchase",
+            "dealer_manage",
+            "dealer_browse",
+            "misc_background",
+        } == names
+
+    def test_dealers_ride_the_web_queue(self):
+        classes = {c.name: c for c in standard_mix()}
+        for dealer in ("dealer_purchase", "dealer_manage", "dealer_browse"):
+            assert classes[dealer].domain_queue is None
+            assert classes[dealer].has_web_stage
+
+    def test_background_class_skips_web(self):
+        classes = {c.name: c for c in standard_mix()}
+        misc = classes["misc_background"]
+        assert not misc.has_web_stage
+        assert misc.domain_queue == DEFAULT_QUEUE
+
+    def test_manufacturing_has_its_own_partition(self):
+        classes = {c.name: c for c in standard_mix()}
+        assert classes["manufacturing"].db_partition == "mfg"
+        assert classes["dealer_browse"].db_partition == "shared"
+
+    def test_deadline_scale(self):
+        base = {c.name: c.deadline for c in standard_mix()}
+        scaled = {c.name: c.deadline for c in standard_mix(deadline_scale=2.0)}
+        for name in base:
+            assert scaled[name] == pytest.approx(2.0 * base[name])
+
+    def test_mean_demand_helpers(self):
+        classes = {c.name: c for c in standard_mix()}
+        purchase = classes["dealer_purchase"]
+        assert purchase.mean_cpu_demand() > 0
+        # Dealers hold the web thread through their business work.
+        assert purchase.mean_web_hold() > purchase.web_io.mean()
+        misc = classes["misc_background"]
+        assert misc.mean_web_hold() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mix_weight"):
+            TransactionClass(
+                name="bad",
+                mix_weight=0.0,
+                web_cpu=Deterministic(0.001),
+                web_io=Deterministic(0.001),
+                domain_queue=MFG_QUEUE,
+                domain_cpu=Deterministic(0.001),
+                db_service=Deterministic(0.001),
+                db_calls=1,
+                deadline=0.1,
+            )
+        with pytest.raises(ValueError, match="domain_queue"):
+            TransactionClass(
+                name="bad",
+                mix_weight=0.5,
+                web_cpu=Deterministic(0.001),
+                web_io=Deterministic(0.001),
+                domain_queue="imaginary",
+                domain_cpu=Deterministic(0.001),
+                db_service=Deterministic(0.001),
+                db_calls=1,
+                deadline=0.1,
+            )
+        with pytest.raises(ValueError, match="web stage"):
+            TransactionClass(
+                name="bad",
+                mix_weight=0.5,
+                web_cpu=Deterministic(0.001),
+                web_io=Deterministic(0.001),
+                domain_queue=None,
+                domain_cpu=Deterministic(0.001),
+                db_service=Deterministic(0.001),
+                db_calls=1,
+                deadline=0.1,
+                has_web_stage=False,
+            )
+        with pytest.raises(ValueError, match="lock_cpu"):
+            TransactionClass(
+                name="bad",
+                mix_weight=0.5,
+                web_cpu=Deterministic(0.001),
+                web_io=Deterministic(0.001),
+                domain_queue=None,
+                domain_cpu=Deterministic(0.001),
+                db_service=Deterministic(0.001),
+                db_calls=1,
+                deadline=0.1,
+                uses_inventory_lock=True,
+            )
+
+    def test_mix_weights_must_sum_to_one(self):
+        classes = standard_mix()
+        with pytest.raises(ValueError, match="sum to 1"):
+            validate_mix(classes[:2])
+
+
+class TestTransactionRecord:
+    def make(self):
+        return Transaction(txn_class=standard_mix()[0], arrived_at=1.0)
+
+    def test_lifecycle(self):
+        txn = self.make()
+        assert not txn.is_complete and not txn.is_abandoned
+        txn.completed_at = 1.2
+        assert txn.is_complete
+        assert txn.response_time == pytest.approx(0.2)
+
+    def test_deadline_check(self):
+        txn = self.make()
+        txn.completed_at = txn.arrived_at + txn.txn_class.deadline + 0.01
+        assert not txn.met_deadline
+
+    def test_response_time_requires_completion(self):
+        with pytest.raises(ValueError):
+            self.make().response_time
+
+
+class TestDatabase:
+    def test_call_takes_service_time(self):
+        sim = Simulator()
+        db = Database(sim, connections=2, rng=np.random.default_rng(0))
+        finished = []
+
+        def flow():
+            yield from db.call(Deterministic(0.5))
+            finished.append(sim.now)
+
+        sim.spawn(flow())
+        sim.run()
+        assert finished == [pytest.approx(0.5)]
+        assert db.calls_served == 1
+        assert db.mean_service_time() == pytest.approx(0.5)
+
+    def test_connection_pool_limits_concurrency(self):
+        sim = Simulator()
+        db = Database(sim, connections=1, rng=np.random.default_rng(0))
+        finished = []
+
+        def flow():
+            yield from db.call(Deterministic(1.0))
+            finished.append(sim.now)
+
+        sim.spawn(flow())
+        sim.spawn(flow())
+        sim.run()
+        assert sorted(finished) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Database(Simulator(), connections=0)
+
+
+class TestMachineSpec:
+    def test_defaults_model_table1(self):
+        spec = MachineSpec()
+        assert spec.cores == 8
+        assert spec.memory_gb == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cores=0)
+        with pytest.raises(ValueError):
+            MachineSpec(quantum=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec(switch_cost=-1.0)
+        with pytest.raises(ValueError):
+            MachineSpec(pollution_factor=-1.0)
+        with pytest.raises(ValueError):
+            MachineSpec(excess_cap=-1)
+
+
+class TestAppServer:
+    def make_server(self, **kwargs):
+        sim = Simulator()
+        db = Database(sim, connections=8, rng=np.random.default_rng(0))
+        defaults = dict(
+            mfg_threads=4,
+            web_threads=6,
+            default_threads=4,
+            rng=np.random.default_rng(1),
+        )
+        defaults.update(kwargs)
+        return sim, AppServer(sim, db, **defaults)
+
+    def test_zero_thread_pools_clamped_to_one(self):
+        _, server = self.make_server(default_threads=0)
+        assert server.pools[DEFAULT_QUEUE].capacity == 1
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_server(web_threads=-1)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_server(request_timeout=0.0)
+
+    def test_transaction_flows_to_completion(self):
+        sim, server = self.make_server()
+        txn = Transaction(txn_class=standard_mix()[0], arrived_at=0.0)
+        sim.spawn(server.handle(txn))
+        sim.run()
+        assert txn.is_complete
+        assert txn.response_time > 0
+        assert server.transactions_completed == 1
+
+    def test_every_class_completes(self):
+        sim, server = self.make_server()
+        txns = [
+            Transaction(txn_class=cls, arrived_at=0.0)
+            for cls in standard_mix()
+        ]
+        for txn in txns:
+            sim.spawn(server.handle(txn))
+        sim.run()
+        assert all(t.is_complete for t in txns)
+
+    def test_stage_times_recorded(self):
+        sim, server = self.make_server()
+        mfg = standard_mix()[0]
+        txn = Transaction(txn_class=mfg, arrived_at=0.0)
+        sim.spawn(server.handle(txn))
+        sim.run()
+        assert "web_start" in txn.stage_times
+        assert "domain_start" in txn.stage_times
+        assert txn.stage_times["domain_end"] >= txn.stage_times["web_end"]
+
+    def test_overload_abandons_transactions(self):
+        sim, server = self.make_server(web_threads=1, request_timeout=0.01)
+        dealers = [c for c in standard_mix() if c.name == "dealer_browse"]
+        txns = [
+            Transaction(txn_class=dealers[0], arrived_at=0.0)
+            for _ in range(30)
+        ]
+        for txn in txns:
+            sim.spawn(server.handle(txn))
+        sim.run()
+        abandoned = [t for t in txns if t.is_abandoned]
+        assert abandoned
+        assert server.transactions_abandoned == len(abandoned)
+        assert all(not t.is_complete for t in abandoned)
+
+
+class TestLoadDriver:
+    def make_driver(self, rate=200.0, sim=None):
+        sim = sim or Simulator()
+        db = Database(sim, connections=8, rng=np.random.default_rng(0))
+        server = AppServer(
+            sim,
+            db,
+            mfg_threads=8,
+            web_threads=12,
+            default_threads=8,
+            rng=np.random.default_rng(1),
+        )
+        driver = LoadDriver(
+            sim,
+            standard_mix(),
+            injection_rate=rate,
+            handler=server.handle,
+            arrival_rng=np.random.default_rng(2),
+            mix_rng=np.random.default_rng(3),
+        )
+        return sim, driver
+
+    def test_injection_rate_approximately_respected(self):
+        sim, driver = self.make_driver(rate=200.0)
+        driver.start()
+        sim.run_until(10.0)
+        assert driver.injected == pytest.approx(2000, rel=0.15)
+
+    def test_mix_fractions_respected(self):
+        sim, driver = self.make_driver(rate=400.0)
+        driver.start()
+        sim.run_until(10.0)
+        browse = sum(
+            1
+            for t in driver.transactions
+            if t.txn_class.name == "dealer_browse"
+        )
+        assert browse / driver.injected == pytest.approx(0.31, abs=0.05)
+
+    def test_stop_halts_injection(self):
+        sim, driver = self.make_driver()
+        driver.start()
+        sim.run_until(1.0)
+        driver.stop()
+        count = driver.injected
+        sim.run_until(3.0)
+        assert driver.injected == count
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            self.make_driver(rate=0.0)
