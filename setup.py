@@ -27,6 +27,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-characterize=repro.cli:main",
+            "repro-serve=repro.cli:serve_main",
         ]
     },
 )

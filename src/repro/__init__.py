@@ -17,7 +17,10 @@ including every substrate the paper depends on:
   polynomial / log-linear / RBF / DOE baselines;
 - :mod:`repro.analysis` — response surfaces, the parallel-slopes / valley /
   hill taxonomy, sensitivity, configuration recommendation, PCA;
-- :mod:`repro.experiments` — one module per paper table/figure.
+- :mod:`repro.experiments` — one module per paper table/figure;
+- :mod:`repro.serving` — a model-serving layer (hot-loading registry,
+  micro-batching, prediction cache, HTTP endpoint) for querying persisted
+  models at volume.
 
 Quickstart::
 

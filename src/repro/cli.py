@@ -9,7 +9,10 @@ writes the markdown report:
    $ repro-characterize --samples 50 --output report.md
    $ repro-characterize --scenario batch_heavy --backend analytic --fast
 
-(The table/figure reproduction CLI is separate: ``repro-experiments``.)
+(The table/figure reproduction CLI is separate: ``repro-experiments``;
+model serving is ``repro-serve``, whose implementation lives in
+:mod:`repro.serving.server` and is re-exported here as :func:`serve_main`
+for the console-script wiring in ``setup.py``.)
 """
 
 from __future__ import annotations
@@ -32,7 +35,14 @@ from .workload.sampler import (
 from .workload.scenarios import available_scenarios, scenario
 from .workload.service import ThreeTierWorkload
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "serve_main"]
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro-serve`` entry point (lazy import keeps startup light)."""
+    from .serving.server import main as _serve
+
+    return _serve(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:

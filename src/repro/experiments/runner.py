@@ -20,7 +20,7 @@ from .figures56 import run_figure5, run_figure6
 from .surfaces import run_figure4, run_figure7, run_figure8
 from .table2 import run_table2
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment", "main"]
 
 #: Experiment id -> callable(refresh) returning an object with ``to_text()``.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -33,11 +33,18 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+def available_experiments() -> list:
+    """Sorted experiment ids — the single source for the CLI choices and
+    the :func:`run_experiment` error message, so they cannot drift."""
+    return sorted(EXPERIMENTS)
+
+
 def run_experiment(name: str, refresh: bool = False):
     """Run one experiment by id; returns its result object."""
     if name not in EXPERIMENTS:
         raise KeyError(
-            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+            f"unknown experiment {name!r}; "
+            f"available: {available_experiments()}"
         )
     return EXPERIMENTS[name](refresh)
 
@@ -50,7 +57,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=available_experiments() + ["all"],
         help="which table/figure to regenerate",
     )
     parser.add_argument(
@@ -59,7 +66,11 @@ def main(argv=None) -> int:
         help="discard cached sample collections and re-simulate",
     )
     args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = (
+        available_experiments()
+        if args.experiment == "all"
+        else [args.experiment]
+    )
     for name in names:
         result = run_experiment(name, refresh=args.refresh)
         print(f"==== {name} ====")

@@ -14,6 +14,7 @@ from .loglinear import LogLinearWorkloadModel
 from .neural import NeuralWorkloadModel
 from .persistence import (
     load_model,
+    load_model_document,
     model_from_dict,
     model_to_dict,
     save_model,
@@ -35,6 +36,7 @@ __all__ = [
     "tail_targets",
     "save_model",
     "load_model",
+    "load_model_document",
     "model_to_dict",
     "model_from_dict",
     "RBFWorkloadModel",

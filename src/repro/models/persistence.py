@@ -27,6 +27,7 @@ __all__ = [
     "model_from_dict",
     "save_model",
     "load_model",
+    "load_model_document",
 ]
 
 MODEL_FORMAT_VERSION = 1
@@ -129,6 +130,50 @@ def save_model(
     return path
 
 
+def load_model_document(path: Union[str, Path]) -> dict:
+    """Read and parse a model file into its raw document ``dict``.
+
+    This is the registry-facing half of :func:`load_model`: it validates
+    that the file holds *some* JSON object without committing to a format
+    version, so callers (e.g. :class:`repro.serving.registry.ModelRegistry`)
+    can inspect ``format_version`` before materializing networks.  All
+    failure modes raise :class:`ValueError` naming the offending file.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read model file {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"model file {path} is not valid JSON (truncated or corrupt): "
+            f"{exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"model file {path} holds a JSON {type(payload).__name__}, "
+            "expected an object"
+        )
+    return payload
+
+
 def load_model(path: Union[str, Path]) -> NeuralWorkloadModel:
-    """Read a model written by :func:`save_model`."""
-    return model_from_dict(json.loads(Path(path).read_text()))
+    """Read a model written by :func:`save_model`.
+
+    Any malformed artifact — invalid/truncated JSON, a wrong format
+    version, or missing fields — raises :class:`ValueError` naming the
+    offending file rather than surfacing a raw ``KeyError`` or
+    ``JSONDecodeError``.
+    """
+    path = Path(path)
+    payload = load_model_document(path)
+    try:
+        return model_from_dict(payload)
+    except KeyError as exc:
+        raise ValueError(
+            f"model file {path} is missing required field {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise ValueError(f"cannot load model file {path}: {exc}") from exc

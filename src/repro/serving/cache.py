@@ -1,0 +1,123 @@
+"""Bounded LRU cache for repeated configuration queries.
+
+Tuning sweeps (e.g. ``examples/tuning_case_study.py``) and capacity
+planners hammer the same configurations over and over; the model is
+deterministic, so an exact repeat never needs the network.  Keys quantize
+the configuration vector (round to ``decimals``) so float noise from
+different clients serializing the same config still hits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PredictionCache"]
+
+
+class PredictionCache:
+    """Thread-safe LRU of ``(model name, quantized config) -> prediction``.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on resident entries; the least recently *used* entry is
+        evicted first.  ``0`` disables caching (every lookup misses).
+    decimals:
+        Configuration coordinates are rounded to this many decimals when
+        forming keys.
+    """
+
+    def __init__(self, max_entries: int = 1024, decimals: int = 6):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.decimals = int(decimals)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def key(self, model_name: str, vector: Sequence[float]) -> Tuple:
+        """The canonical cache key for one (model, configuration) pair."""
+        quantized = tuple(
+            round(float(v), self.decimals) for v in np.asarray(vector).ravel()
+        )
+        return (model_name, quantized)
+
+    def get(self, key: Tuple) -> Optional[np.ndarray]:
+        """The cached prediction, or ``None`` on a miss (counts either way)."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+        return value.copy()
+
+    def put(self, key: Tuple, value: np.ndarray) -> None:
+        """Insert (or refresh) a prediction, evicting LRU entries to fit."""
+        if self.max_entries == 0:
+            return
+        value = np.array(value, dtype=float)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_model(self, model_name: str) -> int:
+        """Drop every entry of one model (call after a hot reload)."""
+        with self._lock:
+            stale = [k for k in self._data if k[0] == model_name]
+            for k in stale:
+                del self._data[k]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot for metrics exposition."""
+        with self._lock:
+            size = len(self._data)
+        return {
+            "size": size,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PredictionCache(size={len(self)}/{self.max_entries}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

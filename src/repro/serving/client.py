@@ -1,0 +1,147 @@
+"""Thin urllib client for the serving HTTP API.
+
+Used by the tests, the serving benchmark, and scripts that want to query a
+running ``repro-serve`` without hand-rolling HTTP.  Single dependency-free
+file; the only non-stdlib import is NumPy for the array convenience.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+import numpy as np
+
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+
+__all__ = ["ServingError", "ServingClient"]
+
+
+class ServingError(Exception):
+    """An HTTP-level failure reported by the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServingClient:
+    """Talk to one ``repro-serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8700"`` (no trailing slash needed).
+    timeout:
+        Socket timeout (seconds) for every call.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+
+    def predict(
+        self,
+        model: str,
+        config: Union[Dict[str, float], Sequence[float]],
+    ) -> Dict[str, float]:
+        """Predict one configuration; returns ``{indicator: value}``."""
+        body = {"model": model, "config": self._as_config(config)}
+        return self._post_json("/predict", body)["prediction"]
+
+    def predict_many(
+        self,
+        model: str,
+        configs: Sequence[Union[Dict[str, float], Sequence[float]]],
+    ) -> np.ndarray:
+        """Predict many configurations; returns an ``(n, 5)`` array."""
+        body = {
+            "model": model,
+            "configs": [self._as_config(c) for c in configs],
+        }
+        payload = self._post_json("/predict", body)
+        return np.array(
+            [[p[name] for name in OUTPUT_NAMES] for p in payload["predictions"]],
+            dtype=float,
+        )
+
+    def models(self) -> List[str]:
+        """Model names the server can answer for."""
+        return self._get_json("/models")["models"]
+
+    def healthz(self) -> bool:
+        """Whether the server answers its liveness probe."""
+        try:
+            return self._get_json("/healthz").get("status") == "ok"
+        except (ServingError, URLError, OSError):
+            return False
+
+    def metrics(self) -> dict:
+        """The metrics snapshot as a dict."""
+        return self._get_json("/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition."""
+        return self._request("GET", "/metrics").decode()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_config(
+        config: Union[Dict[str, float], Sequence[float]]
+    ) -> Dict[str, float]:
+        if isinstance(config, dict):
+            # Pass through untouched: field validation is the server's job,
+            # and coercing here would mask its 400 messages.
+            return dict(config)
+        values = list(config)
+        if len(values) != len(INPUT_NAMES):
+            raise ValueError(
+                f"expected {len(INPUT_NAMES)} values in {INPUT_NAMES} "
+                f"order, got {len(values)}"
+            )
+        return {name: float(v) for name, v in zip(INPUT_NAMES, values)}
+
+    def _get_json(self, path: str) -> dict:
+        return json.loads(self._request("GET", path))
+
+    def _post_json(self, path: str, body: dict) -> dict:
+        data = json.dumps(body).encode()
+        return json.loads(
+            self._request(
+                "POST", path, data=data,
+                headers={"Content-Type": "application/json"},
+            )
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+    ) -> bytes:
+        request = Request(
+            self.base_url + path,
+            data=data,
+            headers=headers or {},
+            method=method,
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode(errors="replace")
+            raise ServingError(exc.code, message) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServingClient({self.base_url!r})"

@@ -1,0 +1,186 @@
+"""The in-process serving engine: registry + cache + per-model batchers.
+
+:class:`ServingEngine` is the piece every front end shares — the HTTP
+server, the benchmark, and embedded callers all route queries through it.
+Each query first consults the :class:`~repro.serving.cache.PredictionCache`
+(exact repeats skip the network entirely), then either goes through that
+model's :class:`~repro.serving.batcher.MicroBatcher` (coalescing with
+concurrent callers) or straight into one vectorized ``predict`` when
+batching is off.  All traffic is counted in
+:class:`~repro.serving.metrics.ServingMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+from .batcher import MicroBatcher
+from .cache import PredictionCache
+from .metrics import ServingMetrics
+from .registry import ModelRegistry
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Serve predictions from every model in a registry directory.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.serving.registry.ModelRegistry`, or a directory
+        path to build one from.
+    batching:
+        Route queries through per-model micro-batchers.  Off, each
+        request runs its own vectorized ``predict`` (still batched
+        *within* a multi-config request).
+    max_batch_size / max_wait_ms:
+        Micro-batcher knobs (see :class:`~repro.serving.batcher.MicroBatcher`).
+    cache_size / cache_decimals:
+        Prediction-cache knobs; ``cache_size=0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        registry: Union[ModelRegistry, str, Path],
+        batching: bool = True,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 1024,
+        cache_decimals: int = 6,
+    ):
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.batching = bool(batching)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.cache = PredictionCache(cache_size, decimals=cache_decimals)
+        self.metrics = ServingMetrics(cache=self.cache)
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._seen_mtimes: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def list_models(self) -> List[str]:
+        """Model names servable right now."""
+        return self.registry.list_models()
+
+    def predict(
+        self, model_name: str, configs: Sequence[Sequence[float]]
+    ) -> np.ndarray:
+        """Predict indicators for ``configs`` (rows in ``INPUT_NAMES`` order).
+
+        Returns an ``(n, len(OUTPUT_NAMES))`` array in ``OUTPUT_NAMES``
+        column order.  Raises :class:`KeyError` for an unknown model and
+        :class:`ValueError` for malformed input.
+        """
+        start = time.perf_counter()
+        x = np.asarray(configs, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.ndim != 2 or x.shape[1] != len(INPUT_NAMES):
+            raise ValueError(
+                f"configs must be (n, {len(INPUT_NAMES)}) in "
+                f"{INPUT_NAMES} order, got shape {x.shape}"
+            )
+        if not np.all(np.isfinite(x)):
+            raise ValueError("configs must be finite numbers")
+
+        entry = self.registry.get_entry(model_name)  # KeyError if unknown
+        self._note_mtime(model_name, entry.mtime_ns)
+        model = entry.model
+        out = np.empty((x.shape[0], len(OUTPUT_NAMES)), dtype=float)
+        miss_rows: List[int] = []
+        keys = [self.cache.key(model_name, row) for row in x]
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                out[i] = cached
+            else:
+                miss_rows.append(i)
+
+        if miss_rows:
+            # Duplicate configs inside one request (tuning sweeps repeat
+            # themselves) run the network once and share the row.
+            groups: Dict[tuple, List[int]] = {}
+            for i in miss_rows:
+                groups.setdefault(keys[i], []).append(i)
+            lead_rows = [rows[0] for rows in groups.values()]
+            if self.batching:
+                batcher = self._batcher_for(model_name)
+                futures = [batcher.submit(x[i]) for i in lead_rows]
+                for i, future in zip(lead_rows, futures):
+                    out[i] = future.result(timeout=30.0)
+            else:
+                out[lead_rows] = model.predict(x[lead_rows])
+            for rows in groups.values():
+                out[rows[1:]] = out[rows[0]]
+                self.cache.put(keys[rows[0]], out[rows[0]])
+
+        self.metrics.record_request(x.shape[0], time.perf_counter() - start)
+        return out
+
+    def predict_one(
+        self, model_name: str, config: Sequence[float]
+    ) -> np.ndarray:
+        """Single-configuration convenience; returns a length-5 vector."""
+        return self.predict(model_name, [config])[0]
+
+    def reload(self, model_name: str) -> None:
+        """Hot-swap one model and drop its now-stale cached predictions."""
+        self.registry.reload(model_name)
+        self.cache.invalidate_model(model_name)
+        with self._lock:
+            batcher = self._batchers.pop(model_name, None)
+        if batcher is not None:
+            batcher.close()
+
+    def close(self) -> None:
+        """Stop every batcher worker thread."""
+        with self._lock:
+            batchers, self._batchers = list(self._batchers.values()), {}
+            self._closed = True
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _note_mtime(self, model_name: str, mtime_ns: int) -> None:
+        """Invalidate cached predictions when the artifact was hot-swapped."""
+        with self._lock:
+            previous = self._seen_mtimes.get(model_name)
+            self._seen_mtimes[model_name] = mtime_ns
+        if previous is not None and previous != mtime_ns:
+            self.cache.invalidate_model(model_name)
+
+    def _batcher_for(self, model_name: str) -> MicroBatcher:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("predict() on a closed ServingEngine")
+            batcher = self._batchers.get(model_name)
+            if batcher is None:
+                # The batcher resolves the model per flush so a hot
+                # reload takes effect without restarting the worker.
+                batcher = MicroBatcher(
+                    lambda batch: self.registry.get(model_name).predict(batch),
+                    max_batch_size=self.max_batch_size,
+                    max_wait_ms=self.max_wait_ms,
+                    on_batch=self.metrics.record_batch,
+                )
+                self._batchers[model_name] = batcher
+            return batcher

@@ -1,0 +1,153 @@
+"""Serving observability: counters plus a ring-buffer latency histogram.
+
+Monotonic counters track requests, predictions, batches, and errors; a
+fixed-size ring buffer of recent request latencies yields p50/p95/p99
+without unbounded memory.  Rendered two ways: a plain ``dict`` (for the
+JSON-minded) and a Prometheus-style text exposition (for scrapers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+from .cache import PredictionCache
+
+__all__ = ["ServingMetrics"]
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class ServingMetrics:
+    """Thread-safe serving counters and latency percentiles.
+
+    Parameters
+    ----------
+    window:
+        Ring-buffer capacity for latency samples; percentiles describe the
+        most recent ``window`` requests.
+    cache:
+        Optional :class:`~repro.serving.cache.PredictionCache` whose
+        hit/miss counters are folded into the exposition.
+    """
+
+    def __init__(
+        self, window: int = 1024, cache: Optional[PredictionCache] = None
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.cache = cache
+        self.requests_total = 0
+        self.predictions_total = 0
+        self.batches_total = 0
+        self.batched_items_total = 0
+        self.errors_total = 0
+        self._latencies = deque(maxlen=int(window))
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_request(self, n_configs: int, latency_s: float) -> None:
+        """One served request of ``n_configs`` configurations."""
+        with self._lock:
+            self.requests_total += 1
+            self.predictions_total += int(n_configs)
+            self._latencies.append(float(latency_s))
+
+    def record_batch(self, batch_size: int) -> None:
+        """One flushed micro-batch (hook for ``MicroBatcher.on_batch``)."""
+        with self._lock:
+            self.batches_total += 1
+            self.batched_items_total += int(batch_size)
+
+    def record_error(self) -> None:
+        """One failed request (validation or model error)."""
+        with self._lock:
+            self.errors_total += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def latency_quantiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over the latency window (zeros when empty)."""
+        with self._lock:
+            samples = np.asarray(self._latencies, dtype=float)
+        if samples.size == 0:
+            return {f"p{int(q * 100)}": 0.0 for q in _QUANTILES}
+        values = np.quantile(samples, _QUANTILES)
+        return {
+            f"p{int(q * 100)}": float(v) for q, v in zip(_QUANTILES, values)
+        }
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average configurations per flushed micro-batch."""
+        return (
+            self.batched_items_total / self.batches_total
+            if self.batches_total
+            else 0.0
+        )
+
+    def to_dict(self) -> dict:
+        """Snapshot of everything, JSON-serializable."""
+        snapshot = {
+            "requests_total": self.requests_total,
+            "predictions_total": self.predictions_total,
+            "errors_total": self.errors_total,
+            "batches_total": self.batches_total,
+            "batched_items_total": self.batched_items_total,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "latency_seconds": self.latency_quantiles(),
+        }
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    def to_prometheus(self, prefix: str = "repro_serving") -> str:
+        """Prometheus text exposition (counters + gauge-style quantiles)."""
+        lines = []
+
+        def emit(name, kind, help_text, value, labels=""):
+            lines.append(f"# HELP {prefix}_{name} {help_text}")
+            lines.append(f"# TYPE {prefix}_{name} {kind}")
+            lines.append(f"{prefix}_{name}{labels} {value}")
+
+        emit("requests_total", "counter", "Requests served.",
+             self.requests_total)
+        emit("predictions_total", "counter",
+             "Configurations predicted.", self.predictions_total)
+        emit("errors_total", "counter", "Failed requests.",
+             self.errors_total)
+        emit("batches_total", "counter", "Micro-batches flushed.",
+             self.batches_total)
+        emit("batch_occupancy_mean", "gauge",
+             "Mean configurations per micro-batch.",
+             self.mean_batch_occupancy)
+        if self.cache is not None:
+            stats = self.cache.stats()
+            emit("cache_hits_total", "counter",
+                 "Prediction cache hits.", stats["hits"])
+            emit("cache_misses_total", "counter",
+                 "Prediction cache misses.", stats["misses"])
+            emit("cache_hit_rate", "gauge",
+                 "Prediction cache hit rate.", stats["hit_rate"])
+            emit("cache_entries", "gauge",
+                 "Resident cache entries.", stats["size"])
+        quantiles = self.latency_quantiles()
+        lines.append(
+            f"# HELP {prefix}_request_latency_seconds "
+            "Request latency over the recent window."
+        )
+        lines.append(f"# TYPE {prefix}_request_latency_seconds summary")
+        for name, value in quantiles.items():
+            q = int(name[1:]) / 100.0
+            lines.append(
+                f'{prefix}_request_latency_seconds{{quantile="{q}"}} {value}'
+            )
+        return "\n".join(lines) + "\n"

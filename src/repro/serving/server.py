@@ -1,0 +1,316 @@
+"""HTTP front end for the serving engine (stdlib ``http.server``).
+
+Endpoints
+---------
+``POST /predict``
+    Body: ``{"model": "<name>", "config": {...}}`` or
+    ``{"model": "<name>", "configs": [{...}, ...]}`` where each config maps
+    every name in :data:`~repro.workload.service.INPUT_NAMES` to a number.
+    Response: ``{"model": ..., "predictions": [{indicator: value, ...}]}``
+    with keys in :data:`~repro.workload.service.OUTPUT_NAMES` order.
+    Field-level validation failures return 400; unknown models return 404.
+``GET /models``
+    Servable model names plus engine configuration.
+``GET /healthz``
+    Liveness: ``{"status": "ok"}``.
+``GET /metrics``
+    Prometheus text exposition (``?format=json`` for the dict form).
+
+The server is a ``ThreadingHTTPServer``: each connection gets a thread, and
+concurrent ``/predict`` requests coalesce in the engine's micro-batchers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple, Union
+from urllib.parse import urlparse
+
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+from .engine import ServingEngine
+
+__all__ = ["ServingHTTPServer", "create_server", "build_parser", "main"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_CONFIGS_PER_REQUEST = 10_000
+
+
+class _RequestError(Exception):
+    """Validation failure carrying the HTTP status to report."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_configs(payload: dict) -> Tuple[List[List[float]], bool]:
+    """Extract config vectors from a /predict body; (vectors, was_single)."""
+    if "config" in payload and "configs" in payload:
+        raise _RequestError(400, "pass either 'config' or 'configs', not both")
+    if "config" in payload:
+        configs, single = [payload["config"]], True
+    elif "configs" in payload:
+        configs, single = payload["configs"], False
+        if not isinstance(configs, list):
+            raise _RequestError(400, "'configs' must be a list of objects")
+        if not configs:
+            raise _RequestError(400, "'configs' must not be empty")
+        if len(configs) > _MAX_CONFIGS_PER_REQUEST:
+            raise _RequestError(
+                400,
+                f"'configs' holds {len(configs)} items; the per-request "
+                f"limit is {_MAX_CONFIGS_PER_REQUEST}",
+            )
+    else:
+        raise _RequestError(400, "missing 'config' (object) or 'configs' (list)")
+
+    vectors = []
+    for index, config in enumerate(configs):
+        label = "config" if single else f"configs[{index}]"
+        if not isinstance(config, dict):
+            raise _RequestError(400, f"{label}: expected an object")
+        unknown = sorted(set(config) - set(INPUT_NAMES))
+        if unknown:
+            raise _RequestError(
+                400,
+                f"{label}.{unknown[0]}: unknown parameter "
+                f"(expected {INPUT_NAMES})",
+            )
+        vector = []
+        for name in INPUT_NAMES:
+            if name not in config:
+                raise _RequestError(400, f"{label}.{name}: missing")
+            value = config[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _RequestError(400, f"{label}.{name}: expected a number")
+            if value != value or value in (float("inf"), float("-inf")):
+                raise _RequestError(400, f"{label}.{name}: must be finite")
+            vector.append(float(value))
+        vectors.append(vector)
+    return vectors, single
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif parsed.path == "/models":
+            engine = self.server.engine
+            self._send_json(
+                200,
+                {
+                    "models": engine.list_models(),
+                    "inputs": INPUT_NAMES,
+                    "outputs": OUTPUT_NAMES,
+                    "batching": engine.batching,
+                    "max_batch_size": engine.max_batch_size,
+                    "max_wait_ms": engine.max_wait_ms,
+                },
+            )
+        elif parsed.path == "/metrics":
+            if "format=json" in (parsed.query or ""):
+                self._send_json(200, self.server.engine.metrics.to_dict())
+            else:
+                body = self.server.engine.metrics.to_prometheus().encode()
+                self._send_raw(200, body, "text/plain; version=0.0.4")
+        else:
+            self._send_json(404, {"error": f"no route {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if urlparse(self.path).path != "/predict":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        engine = self.server.engine
+        try:
+            payload = self._read_json()
+            model_name = payload.get("model")
+            if not isinstance(model_name, str) or not model_name:
+                raise _RequestError(400, "model: expected a non-empty string")
+            vectors, single = _parse_configs(payload)
+            try:
+                outputs = engine.predict(model_name, vectors)
+            except KeyError:
+                raise _RequestError(
+                    404,
+                    f"unknown model {model_name!r}; "
+                    f"available: {engine.list_models()}",
+                ) from None
+        except _RequestError as exc:
+            engine.metrics.record_error()
+            self._send_json(exc.status, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - model/artifact failures
+            engine.metrics.record_error()
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        predictions = [
+            {name: float(row[j]) for j, name in enumerate(OUTPUT_NAMES)}
+            for row in outputs
+        ]
+        body = {"model": model_name, "predictions": predictions}
+        if single:
+            body["prediction"] = predictions[0]
+        self._send_json(200, body)
+
+    # ------------------------------------------------------------------
+
+    def _read_json(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise _RequestError(411, "Content-Length required")
+        length = int(length)
+        if length > _MAX_BODY_BYTES:
+            raise _RequestError(413, f"body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _RequestError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "body must be a JSON object")
+        return payload
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_raw(
+            status, json.dumps(payload).encode(), "application/json"
+        )
+
+    def _send_raw(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to a :class:`ServingEngine`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, engine: ServingEngine, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (port resolved after bind)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, notebooks)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serving-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.engine.close()
+
+
+def create_server(
+    engine: Union[ServingEngine, str],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServingHTTPServer:
+    """Build a server around an engine (or a model-directory path)."""
+    if not isinstance(engine, ServingEngine):
+        engine = ServingEngine(engine)
+    return ServingHTTPServer((host, port), engine, verbose=verbose)
+
+
+# ----------------------------------------------------------------------
+# repro-serve CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve persisted workload models over HTTP: POST /predict, "
+            "GET /models, GET /healthz, GET /metrics."
+        ),
+    )
+    parser.add_argument(
+        "--models-dir",
+        required=True,
+        help="directory of <name>.json artifacts written by save_model()",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8700, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-batch-size", type=int, default=32,
+        help="micro-batch flush size",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch straggler wait",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="prediction-cache entries (0 disables)",
+    )
+    parser.add_argument(
+        "--no-batching", action="store_true",
+        help="disable cross-request micro-batching",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; serves until interrupted."""
+    args = build_parser().parse_args(argv)
+    try:
+        engine = ServingEngine(
+            args.models_dir,
+            batching=not args.no_batching,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    server = ServingHTTPServer(
+        (args.host, args.port), engine, verbose=args.verbose
+    )
+    models = engine.list_models()
+    print(f"Serving {len(models)} model(s) {models} at {server.url}")
+    print("POST /predict | GET /models | GET /healthz | GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nShutting down.")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -1,8 +1,8 @@
-"""The repro-characterize command-line interface."""
+"""The repro-characterize and repro-serve command-line interfaces."""
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, serve_main
 
 
 class TestParser:
@@ -50,3 +50,24 @@ class TestMain:
                 ["--backend", "analytic", "--injection", "500", "400",
                  "--samples", "12", "--fast"]
             )
+
+
+class TestServeCLI:
+    def test_parser_defaults(self):
+        from repro.serving.server import build_parser as serve_parser
+
+        args = serve_parser().parse_args(["--models-dir", "models"])
+        assert args.port == 8700
+        assert args.max_batch_size == 32
+        assert args.cache_size == 1024
+        assert not args.no_batching
+
+    def test_models_dir_required(self):
+        from repro.serving.server import build_parser as serve_parser
+
+        with pytest.raises(SystemExit):
+            serve_parser().parse_args([])
+
+    def test_missing_directory_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            serve_main(["--models-dir", str(tmp_path / "absent")])

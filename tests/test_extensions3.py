@@ -8,6 +8,7 @@ from repro.analysis.regression import detect_regressions
 from repro.models.neural import NeuralWorkloadModel
 from repro.models.persistence import (
     load_model,
+    load_model_document,
     model_from_dict,
     model_to_dict,
     save_model,
@@ -80,6 +81,48 @@ class TestPersistence:
         model, _, _ = fitted_model()
         path = save_model(model, tmp_path / "m.json")
         assert path.read_text().startswith("{")
+
+    def test_truncated_json_names_file(self, tmp_path):
+        path = tmp_path / "cut.json"
+        model, _, _ = fitted_model()
+        path.write_text(save_model(model, tmp_path / "ok.json").read_text()[:40])
+        with pytest.raises(ValueError, match="cut.json"):
+            load_model(path)
+
+    def test_version_mismatch_on_disk_names_file(self, tmp_path):
+        model, _, _ = fitted_model()
+        payload = model_to_dict(model)
+        payload["format_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(__import__("json").dumps(payload))
+        with pytest.raises(ValueError, match="future.json"):
+            load_model(path)
+
+    def test_missing_field_raises_valueerror_not_keyerror(self, tmp_path):
+        model, _, _ = fitted_model()
+        payload = model_to_dict(model)
+        del payload["x_scaler"]
+        path = tmp_path / "partial.json"
+        path.write_text(__import__("json").dumps(payload))
+        with pytest.raises(ValueError, match="partial.json"):
+            load_model(path)
+
+    def test_missing_file_raises_valueerror(self, tmp_path):
+        with pytest.raises(ValueError, match="absent.json"):
+            load_model(tmp_path / "absent.json")
+
+    def test_document_helper_rejects_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="expected an object"):
+            load_model_document(path)
+
+    def test_document_helper_exposes_raw_payload(self, tmp_path):
+        model, _, _ = fitted_model()
+        path = save_model(model, tmp_path / "m.json")
+        document = load_model_document(path)
+        assert document["format_version"] == 1
+        assert document["kind"] == "neural_workload_model"
 
 
 class TestCurvature:

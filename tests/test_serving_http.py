@@ -1,0 +1,186 @@
+"""The HTTP layer: endpoint contract, validation errors, full round trip.
+
+The round trip is the paper's deployment story end to end: fit on simulated
+samples, persist with ``save_model``, hot-load through the registry, and
+query over HTTP — predictions must match the in-memory model bit for bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.models.neural import NeuralWorkloadModel
+from repro.models.persistence import save_model
+from repro.serving import ServingClient, ServingEngine, ServingError
+from repro.serving.server import create_server
+from repro.workload.sampler import (
+    ConfigSpace,
+    ParameterRange,
+    SampleCollector,
+    latin_hypercube,
+)
+from repro.workload.analytic import AnalyticWorkloadModel
+from repro.workload.service import INPUT_NAMES, OUTPUT_NAMES
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A model fitted on a tiny simulated sample set (analytic backend)."""
+    space = ConfigSpace(
+        [
+            ParameterRange("injection_rate", 350, 520),
+            ParameterRange("default_threads", 6, 20),
+            ParameterRange("mfg_threads", 12, 20),
+            ParameterRange("web_threads", 15, 22),
+        ]
+    )
+    dataset = SampleCollector(AnalyticWorkloadModel()).collect(
+        latin_hypercube(space, 20, seed=5)
+    )
+    dataset.y = np.maximum(dataset.y, 1e-3)
+    model = NeuralWorkloadModel(
+        hidden=(8,), error_threshold=0.05, max_epochs=800, seed=0
+    )
+    return model.fit(dataset.x, dataset.y), dataset
+
+
+@pytest.fixture(scope="module")
+def served(fitted, tmp_path_factory):
+    model, _ = fitted
+    directory = tmp_path_factory.mktemp("models")
+    save_model(model, directory / "paper.json")
+    engine = ServingEngine(directory, max_wait_ms=1.0)
+    server = create_server(engine, port=0)
+    server.serve_background()
+    yield ServingClient(server.url), model
+    server.shutdown()
+    server.server_close()
+
+
+GOOD_CONFIG = {
+    "injection_rate": 450.0,
+    "default_threads": 14.0,
+    "mfg_threads": 16.0,
+    "web_threads": 18.0,
+}
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        client, _ = served
+        assert client.healthz()
+
+    def test_models_lists_artifact_and_contract(self, served):
+        client, _ = served
+        assert client.models() == ["paper"]
+        payload = client._get_json("/models")
+        assert payload["inputs"] == INPUT_NAMES
+        assert payload["outputs"] == OUTPUT_NAMES
+
+    def test_predict_single_matches_model(self, served):
+        client, model = served
+        prediction = client.predict("paper", GOOD_CONFIG)
+        assert list(prediction) == OUTPUT_NAMES  # response key order
+        expected = model.predict(
+            [[GOOD_CONFIG[name] for name in INPUT_NAMES]]
+        )[0]
+        np.testing.assert_allclose(
+            [prediction[name] for name in OUTPUT_NAMES], expected, rtol=1e-9
+        )
+
+    def test_predict_list_round_trip(self, served, fitted):
+        client, model = served
+        _, dataset = fitted
+        out = client.predict_many("paper", dataset.x[:6])
+        np.testing.assert_allclose(
+            out, model.predict(dataset.x[:6]), rtol=1e-9
+        )
+
+    def test_repeated_query_shows_cache_hits_in_metrics(self, served):
+        client, _ = served
+        config = dict(GOOD_CONFIG, injection_rate=470.0)
+        client.predict("paper", config)
+        client.predict("paper", config)
+        metrics = client.metrics()
+        assert metrics["cache"]["hits"] >= 1
+        assert metrics["cache"]["hit_rate"] > 0
+        text = client.metrics_text()
+        assert "repro_serving_cache_hits_total" in text
+        assert "repro_serving_requests_total" in text
+
+    def test_latency_quantiles_populated(self, served):
+        client, _ = served
+        client.predict("paper", GOOD_CONFIG)
+        quantiles = client.metrics()["latency_seconds"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p99"] >= quantiles["p50"] >= 0
+
+
+class TestValidation:
+    def test_unknown_model_404_lists_available(self, served):
+        client, _ = served
+        with pytest.raises(ServingError) as err:
+            client.predict("absent", GOOD_CONFIG)
+        assert err.value.status == 404
+        assert "paper" in err.value.message
+
+    def test_unknown_route_404(self, served):
+        client, _ = served
+        with pytest.raises(ServingError) as err:
+            client._get_json("/nope")
+        assert err.value.status == 404
+
+    def test_missing_field_400_names_field(self, served):
+        client, _ = served
+        config = dict(GOOD_CONFIG)
+        del config["mfg_threads"]
+        with pytest.raises(ServingError) as err:
+            client.predict("paper", config)
+        assert err.value.status == 400
+        assert "mfg_threads" in err.value.message
+
+    def test_unknown_field_400(self, served):
+        client, _ = served
+        with pytest.raises(ServingError) as err:
+            client.predict("paper", dict(GOOD_CONFIG, warp_factor=9.0))
+        assert err.value.status == 400
+        assert "warp_factor" in err.value.message
+
+    def test_non_numeric_field_400(self, served):
+        client, _ = served
+        with pytest.raises(ServingError) as err:
+            client.predict("paper", dict(GOOD_CONFIG, web_threads="many"))
+        assert err.value.status == 400
+        assert "web_threads" in err.value.message
+
+    def test_indexed_error_for_list_requests(self, served):
+        client, _ = served
+        bad = dict(GOOD_CONFIG)
+        del bad["web_threads"]
+        with pytest.raises(ServingError) as err:
+            client.predict_many("paper", [GOOD_CONFIG, bad])
+        assert err.value.status == 400
+        assert "configs[1].web_threads" in err.value.message
+
+    def test_invalid_json_400(self, served):
+        client, _ = served
+        with pytest.raises(ServingError) as err:
+            client._request(
+                "POST", "/predict", data=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+        assert err.value.status == 400
+
+    def test_empty_configs_400(self, served):
+        client, _ = served
+        with pytest.raises(ServingError) as err:
+            client._post_json("/predict", {"model": "paper", "configs": []})
+        assert err.value.status == 400
+
+    def test_errors_are_counted(self, served):
+        client, _ = served
+        before = client.metrics()["errors_total"]
+        with pytest.raises(ServingError):
+            client.predict("absent", GOOD_CONFIG)
+        assert client.metrics()["errors_total"] == before + 1
