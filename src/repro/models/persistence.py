@@ -11,6 +11,8 @@ single JSON file and queried without retraining.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -123,10 +125,32 @@ def model_from_dict(payload: dict) -> NeuralWorkloadModel:
 def save_model(
     model: NeuralWorkloadModel, path: Union[str, Path]
 ) -> Path:
-    """Write the fitted model to ``path`` as JSON."""
+    """Write the fitted model to ``path`` as JSON, atomically.
+
+    The document lands in a dot-prefixed temporary file in the target
+    directory and is ``os.replace``\\ d over ``path``, so a concurrent
+    reader — in particular the mtime-polling
+    :class:`~repro.serving.registry.ModelRegistry` — sees either the old
+    artifact or the complete new one, never a truncated JSON file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(model_to_dict(model)))
+    payload = json.dumps(model_to_dict(model))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

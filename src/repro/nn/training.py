@@ -35,7 +35,24 @@ __all__ = [
     "MaxEpochs",
     "Trainer",
     "TrainingResult",
+    "TrainingDivergedError",
 ]
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training loss went non-finite (NaN/inf) — the run has diverged.
+
+    Raised by the :class:`Trainer`'s NaN guard so a runaway learning rate
+    fails loudly at the offending epoch instead of silently producing a
+    NaN model that poisons every downstream prediction.
+    """
+
+    def __init__(self, epoch: int, loss: float):
+        self.epoch = int(epoch)
+        self.loss = float(loss)
+        super().__init__(
+            f"training diverged at epoch {self.epoch}: loss became {self.loss}"
+        )
 
 
 @dataclass
@@ -192,6 +209,10 @@ class Trainer:
         Shuffle sample order each epoch (mini-batch mode only).
     seed:
         Seed for the shuffling generator.
+    nan_guard:
+        When ``True`` (default), raise :class:`TrainingDivergedError` the
+        first epoch the training loss goes non-finite rather than looping
+        (and possibly "converging") on NaN.
     """
 
     def __init__(
@@ -203,6 +224,7 @@ class Trainer:
         l2: float = 0.0,
         shuffle: bool = True,
         seed: Optional[int] = None,
+        nan_guard: bool = True,
     ):
         self.model = model
         self.loss = get_loss(loss)
@@ -216,6 +238,7 @@ class Trainer:
             raise ValueError(f"l2 must be non-negative, got {l2}")
         self.l2 = float(l2)
         self.shuffle = bool(shuffle)
+        self.nan_guard = bool(nan_guard)
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -246,7 +269,7 @@ class Trainer:
         callbacks = list(callbacks or [])
 
         for epoch in range(max_epochs):
-            epoch_loss = self._run_epoch(x, y)
+            epoch_loss = self._run_epoch(x, y, epoch=epoch)
             history.train_loss.append(epoch_loss)
             history.learning_rate.append(
                 self.optimizer.schedule(max(self.optimizer.step_count - 1, 0))
@@ -269,7 +292,9 @@ class Trainer:
 
     # ------------------------------------------------------------------
 
-    def _run_epoch(self, x: np.ndarray, y: np.ndarray) -> float:
+    def _run_epoch(
+        self, x: np.ndarray, y: np.ndarray, epoch: int = 0
+    ) -> float:
         """One pass over the data; returns the post-update full-data loss."""
         n = x.shape[0]
         if self.batch_size is None or self.batch_size >= n:
@@ -291,7 +316,10 @@ class Trainer:
             if self.l2:
                 grads = grads + self.l2 * params
             self.model.set_flat_params(self.optimizer.step(params, grads))
-        return self.evaluate(x, y)
+        epoch_loss = self.evaluate(x, y)
+        if self.nan_guard and not math.isfinite(epoch_loss):
+            raise TrainingDivergedError(epoch, epoch_loss)
+        return epoch_loss
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Mean loss of the current model on ``(x, y)``."""

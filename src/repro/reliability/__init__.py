@@ -1,0 +1,69 @@
+"""Reliability toolkit: retries, circuit breaking, degradation, fault injection.
+
+The serving PR made the paper's models a long-running service; this package
+makes that service survivable.  :mod:`~repro.reliability.policies` holds the
+control-flow primitives (:class:`Deadline`, :class:`RetryPolicy`,
+:class:`CircuitBreaker`), :mod:`~repro.reliability.degradation` the
+surrogate :class:`FallbackChain`, load-shedding error, and the
+``healthy/degraded/unhealthy`` :class:`HealthMonitor`, and
+:mod:`~repro.reliability.faults` a deterministic :class:`FaultPlan` harness
+so every one of those paths is exercised by tests instead of outages.
+"""
+
+from .degradation import (
+    DEGRADED,
+    HEALTHY,
+    UNHEALTHY,
+    FallbackChain,
+    FallbackResult,
+    HealthMonitor,
+    OverloadedError,
+    fit_linear_surrogate,
+)
+from .faults import (
+    SITE_BATCHER_FLUSH,
+    SITE_DRIVER_INJECT,
+    SITE_REGISTRY_LOAD,
+    SITE_REGISTRY_STAT,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+from .policies import (
+    BREAKER_STATES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BREAKER_STATES",
+    "FallbackChain",
+    "FallbackResult",
+    "HealthMonitor",
+    "OverloadedError",
+    "fit_linear_surrogate",
+    "HEALTHY",
+    "DEGRADED",
+    "UNHEALTHY",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "SITE_REGISTRY_STAT",
+    "SITE_REGISTRY_LOAD",
+    "SITE_BATCHER_FLUSH",
+    "SITE_DRIVER_INJECT",
+]

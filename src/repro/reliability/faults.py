@@ -1,0 +1,241 @@
+"""Deterministic, seedable fault injection for the serving + training stack.
+
+Every degradation path in :mod:`repro.serving` must be testable without a
+real crash, so the components expose named *injection sites* — well-known
+choke points that consult an optional :class:`FaultPlan` before doing their
+work:
+
+========================  ====================================================
+site                      fired by
+========================  ====================================================
+``registry.stat``         :meth:`ModelRegistry.get_entry <repro.serving.registry.ModelRegistry.get_entry>`
+                          before the artifact ``stat`` (file faults land here)
+``registry.load``         :meth:`ModelRegistry._load <repro.serving.registry.ModelRegistry._load>`
+                          before parsing the artifact
+``batcher.flush``         :meth:`MicroBatcher._flush <repro.serving.batcher.MicroBatcher._flush>`
+                          before the vectorized ``predict``
+``driver.inject``         :class:`LoadDriver <repro.workload.driver.LoadDriver>`
+                          per spawned transaction (via ``fault_hook``)
+========================  ====================================================
+
+A :class:`FaultPlan` maps sites to :class:`FaultRule`\\ s.  Rules fire by
+*hit index* (``after`` skips the first N hits, ``count`` bounds how many
+times a rule fires), so a plan is deterministic by construction; the only
+randomness is the optional per-rule ``probability``, drawn from the plan's
+seeded generator and therefore replayable.
+
+Fault kinds
+-----------
+``latency``
+    Sleep ``latency_s`` at the site (a slow dependency).
+``error``
+    Raise :class:`InjectedFault` (a crashing dependency).
+``corrupt_artifact``
+    Truncate the file passed as site context and bump its mtime — exactly
+    what a non-atomic writer dying mid-``save_model`` leaves behind.
+``clock_skew``
+    Shift the file's mtime by ``skew_s`` without touching its bytes,
+    confusing mtime-based hot-reload logic.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "SITE_REGISTRY_STAT",
+    "SITE_REGISTRY_LOAD",
+    "SITE_BATCHER_FLUSH",
+    "SITE_DRIVER_INJECT",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+]
+
+SITE_REGISTRY_STAT = "registry.stat"
+SITE_REGISTRY_LOAD = "registry.load"
+SITE_BATCHER_FLUSH = "batcher.flush"
+SITE_DRIVER_INJECT = "driver.inject"
+
+FAULT_KINDS = ("latency", "error", "corrupt_artifact", "clock_skew")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an ``error`` fault rule."""
+
+    def __init__(self, site: str, message: Optional[str] = None):
+        self.site = site
+        super().__init__(message or f"injected fault at {site}")
+
+
+@dataclass
+class FaultRule:
+    """One fault at one site, armed for a deterministic slice of hits.
+
+    The rule fires on hit indices ``[after, after + count)`` of its site
+    (``count=None`` means forever), each time with ``probability`` drawn
+    from the owning plan's seeded generator.
+    """
+
+    site: str
+    kind: str
+    after: int = 0
+    count: Optional[int] = None
+    probability: float = 1.0
+    latency_s: float = 0.0
+    skew_s: float = 3600.0
+    message: str = ""
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.after < 0:
+            raise ValueError(f"after must be non-negative, got {self.after}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1 or None, got {self.count}")
+        if not 0 <= self.probability <= 1:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be non-negative, got {self.latency_s}")
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the rule has fired its full budget."""
+        return self.count is not None and self.fired >= self.count
+
+
+class FaultPlan:
+    """A seedable schedule of faults, consulted at named injection sites.
+
+    Parameters
+    ----------
+    rules:
+        Initial :class:`FaultRule` set (more can be :meth:`add`\\ ed later).
+    seed:
+        Seed for the probability stream — same plan + same call sequence
+        = same faults.
+    sleep:
+        Sleep function used by ``latency`` faults (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[List[FaultRule]] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.rules: List[FaultRule] = list(rules or [])
+        self.enabled = True
+        self._hits: Dict[str, int] = {}
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def add(self, site: str, kind: str, **kwargs) -> FaultRule:
+        """Create, register, and return a new rule."""
+        rule = FaultRule(site=site, kind=kind, **kwargs)
+        with self._lock:
+            self.rules.append(rule)
+        return rule
+
+    def clear(self) -> None:
+        """Drop every rule (hit counters survive — they index site history)."""
+        with self._lock:
+            self.rules = []
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been reached so far."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def hook(self, site: str, path: Optional[Union[str, Path]] = None):
+        """A zero-argument callable firing ``site`` (for callback params)."""
+        return lambda: self.fire(site, path=path)
+
+    # ------------------------------------------------------------------
+
+    def fire(self, site: str, path: Optional[Union[str, Path]] = None) -> None:
+        """Apply every due rule for ``site``; ``error`` rules raise last."""
+        with self._lock:
+            hit = self._hits.get(site, 0)
+            self._hits[site] = hit + 1
+            if not self.enabled:
+                return
+            due: List[FaultRule] = []
+            for rule in self.rules:
+                if rule.site != site or rule.exhausted or hit < rule.after:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() > rule.probability:
+                    continue
+                rule.fired += 1
+                due.append(rule)
+        error: Optional[InjectedFault] = None
+        for rule in due:
+            if rule.kind == "latency":
+                self._sleep(rule.latency_s)
+            elif rule.kind == "corrupt_artifact":
+                _corrupt_file(path, site)
+            elif rule.kind == "clock_skew":
+                _skew_mtime(path, rule.skew_s, site)
+            elif rule.kind == "error":
+                error = InjectedFault(site, rule.message or None)
+        if error is not None:
+            raise error
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        armed = sum(not rule.exhausted for rule in self.rules)
+        return f"FaultPlan(rules={len(self.rules)}, armed={armed})"
+
+
+# ----------------------------------------------------------------------
+# file-fault helpers
+# ----------------------------------------------------------------------
+
+
+def _require_path(path: Optional[Union[str, Path]], site: str) -> Path:
+    if path is None:
+        raise ValueError(
+            f"file fault at {site} needs the site to pass a path context"
+        )
+    return Path(path)
+
+
+def _corrupt_file(path: Optional[Union[str, Path]], site: str) -> None:
+    """Truncate ``path`` mid-document, as a dying non-atomic writer would."""
+    target = _require_path(path, site)
+    try:
+        text = target.read_text()
+    except OSError:
+        text = ""
+    target.write_text(text[: len(text) // 2] if len(text) >= 2 else "{")
+    _bump_mtime(target, 1_000_000_000)
+
+
+def _skew_mtime(
+    path: Optional[Union[str, Path]], skew_s: float, site: str
+) -> None:
+    """Shift the artifact mtime without touching its bytes."""
+    target = _require_path(path, site)
+    _bump_mtime(target, int(skew_s * 1e9))
+
+
+def _bump_mtime(target: Path, delta_ns: int) -> None:
+    try:
+        stat = os.stat(target)
+    except OSError:
+        return
+    os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + delta_ns))

@@ -1,0 +1,434 @@
+"""Reliability primitives: deadlines, retries, and circuit breaking.
+
+The serving stack turns the paper's instant-prediction promise into a
+long-running service; this module holds the three control-flow policies
+every such service needs:
+
+* :class:`Deadline` — a monotonic-clock budget that a caller attaches to a
+  request and every layer below honours (client → HTTP server → engine →
+  micro-batcher), so slow components fail the *one* request that is out of
+  time instead of piling up blocked threads.
+* :class:`RetryPolicy` — capped exponential backoff with decorrelated
+  jitter (sleeps always inside ``[base, cap]``), deadline-aware so a retry
+  loop can never outlive its caller's budget.
+* :class:`CircuitBreaker` — the classic closed / open / half-open machine
+  over a sliding failure-rate window, with an injectable clock so state
+  transitions are testable without wall-clock sleeps.
+
+Everything here is stdlib-only and thread-safe.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator, Optional, Tuple, Type, Union
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BREAKER_STATES",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """An operation ran past its :class:`Deadline`."""
+
+
+class Deadline:
+    """A fixed point in (monotonic) time that work must finish by.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*; must be non-negative.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic):
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be non-negative, got {seconds}")
+        self._clock = clock
+        self.expires_at = clock() + float(seconds)
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Alias constructor reading as ``Deadline.after(0.25)``."""
+        return cls(seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining() <= 0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+    def clamp(self, timeout: Optional[float] = None) -> float:
+        """``timeout`` bounded by the remaining budget (floored at 0)."""
+        remaining = max(0.0, self.remaining())
+        if timeout is None:
+            return remaining
+        return min(float(timeout), remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+#: Predicate or exception-class filter deciding whether an error is retryable.
+RetryFilter = Union[
+    Callable[[BaseException], bool],
+    Type[BaseException],
+    Tuple[Type[BaseException], ...],
+]
+
+
+class RetryPolicy:
+    """Capped exponential backoff with decorrelated jitter.
+
+    Sleep ``i`` is drawn uniformly from ``[base, min(cap, prev * multiplier)]``
+    (the AWS "decorrelated jitter" scheme), so every sleep is inside
+    ``[base, cap]`` while consecutive retries still spread out.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total call attempts (first try included); must be >= 1.
+    base / cap:
+        Backoff floor and ceiling in seconds.
+    multiplier:
+        Growth factor on the previous delay before jittering.
+    retry_on:
+        Exception class(es) or a predicate ``exc -> bool``; non-matching
+        errors propagate immediately.
+    sleep:
+        Sleep function (injectable for tests).
+    seed:
+        Seed for the jitter stream — a seeded policy replays exactly.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base: float = 0.05,
+        cap: float = 2.0,
+        multiplier: float = 3.0,
+        retry_on: RetryFilter = Exception,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: Optional[int] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base < 0 or cap < base:
+            raise ValueError(f"need 0 <= base <= cap, got base={base} cap={cap}")
+        if multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        self.max_attempts = int(max_attempts)
+        self.base = float(base)
+        self.cap = float(cap)
+        self.multiplier = float(multiplier)
+        self.retry_on = retry_on
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+
+    def delays(self) -> Iterator[float]:
+        """The backoff sequence: ``max_attempts - 1`` jittered sleeps."""
+        previous = self.base
+        for _ in range(self.max_attempts - 1):
+            ceiling = min(self.cap, max(self.base, previous * self.multiplier))
+            delay = self._rng.uniform(self.base, ceiling)
+            previous = delay
+            yield delay
+
+    def should_retry(
+        self, exc: BaseException, retry_on: Optional[RetryFilter] = None
+    ) -> bool:
+        """Whether ``exc`` matches the retry filter."""
+        matcher = self.retry_on if retry_on is None else retry_on
+        if isinstance(matcher, (type, tuple)):
+            return isinstance(exc, matcher)
+        return bool(matcher(exc))
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        deadline: Optional[Deadline] = None,
+        retry_on: Optional[RetryFilter] = None,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+        **kwargs,
+    ):
+        """Run ``fn`` with retries; returns its result or raises the last error.
+
+        A server-suggested ``retry_after`` attribute on the exception raises
+        the next sleep (still capped at ``cap``); a ``deadline`` both clamps
+        sleeps and stops retrying once the budget is spent.
+        """
+        attempt = 0
+        delays = self.delays()
+        while True:
+            attempt += 1
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - filtered below
+                if not self.should_retry(exc, retry_on):
+                    raise
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise exc from None
+                hint = getattr(exc, "retry_after", None)
+                if isinstance(hint, (int, float)) and hint > 0:
+                    delay = min(self.cap, max(delay, float(hint)))
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= delay:
+                        raise exc from None
+                if on_retry is not None:
+                    on_retry(attempt, delay, exc)
+                self.sleep(delay)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding used by the metrics gauge (closed < half_open < open).
+BREAKER_STATES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitOpenError(RuntimeError):
+    """A call was refused because the circuit is open."""
+
+    def __init__(self, retry_after: float = 1.0, message: Optional[str] = None):
+        self.retry_after = max(0.0, float(retry_after))
+        super().__init__(
+            message
+            or f"circuit breaker is open; retry after {self.retry_after:.2f}s"
+        )
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over a failure-rate window.
+
+    Closed, outcomes land in a sliding window of size ``window``; once at
+    least ``min_samples`` are present and the failure rate reaches
+    ``failure_threshold`` the breaker opens.  Open, every call is refused
+    until ``reset_timeout`` has elapsed, then the breaker half-opens and
+    admits up to ``half_open_probes`` probe calls: any probe failure
+    re-opens it, ``half_open_probes`` successes close it and clear the
+    window.
+
+    Parameters
+    ----------
+    window / failure_threshold / min_samples:
+        Sliding-window size, failure-rate trip point in ``(0, 1]``, and the
+        volume floor below which the rate is not trusted.
+    reset_timeout:
+        Seconds to stay open before probing.
+    half_open_probes:
+        Probe budget (and required success count) while half-open.
+    clock:
+        Monotonic time source (injectable for tests).
+    on_state_change:
+        Optional ``(old_state, new_state) -> None`` hook (metrics).
+    name:
+        Label used in error messages.
+    """
+
+    def __init__(
+        self,
+        window: int = 20,
+        failure_threshold: float = 0.5,
+        min_samples: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_state_change: Optional[Callable[[str, str], None]] = None,
+        name: str = "",
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0 < failure_threshold <= 1:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be positive, got {reset_timeout}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.window = int(window)
+        self.failure_threshold = float(failure_threshold)
+        self.min_samples = int(min_samples)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self.clock = clock
+        self.on_state_change = on_state_change
+        self.name = name
+        self._outcomes: deque = deque(maxlen=self.window)
+        self._state = CLOSED
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (applies the lazy open → half-open transition)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def failure_rate(self) -> float:
+        """Failure fraction over the current window (0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 otherwise)."""
+        with self._lock:
+            if self._state != OPEN or self._opened_at is None:
+                return 0.0
+            return max(
+                0.0, self._opened_at + self.reset_timeout - self.clock()
+            )
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (reserves a half-open probe)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if (
+                self._state == HALF_OPEN
+                and self._probes_in_flight < self.half_open_probes
+            ):
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Report a successful call."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._outcomes.clear()
+                    self._transition(CLOSED)
+            elif self._state == CLOSED:
+                self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Report a failed call."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._open()
+            elif self._state == CLOSED:
+                self._outcomes.append(False)
+                if (
+                    len(self._outcomes) >= self.min_samples
+                    and self.failure_rate() >= self.failure_threshold
+                ):
+                    self._open()
+
+    def cancel(self) -> None:
+        """Release a probe reserved by :meth:`allow` without an outcome.
+
+        For calls that fail for reasons that say nothing about the guarded
+        path's health (e.g. caller errors) — the probe slot is returned so
+        a half-open breaker is not starved.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Guard one call: refuse when open, record the outcome otherwise."""
+        if not self.allow():
+            raise CircuitOpenError(
+                self.retry_after(),
+                message=(
+                    f"circuit breaker {self.name or 'anonymous'} is "
+                    f"{self._state}; retry after {self.retry_after():.2f}s"
+                ),
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def reset(self) -> None:
+        """Force the breaker closed and clear its window (ops override)."""
+        with self._lock:
+            self._outcomes.clear()
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+            self._opened_at = None
+            self._transition(CLOSED)
+
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        self._opened_at = self.clock()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._transition(OPEN)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self.clock() >= self._opened_at + self.reset_timeout
+        ):
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+            self._transition(HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self.on_state_change is not None:
+            self.on_state_change(old_state, new_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"failure_rate={self.failure_rate():.2f})"
+        )

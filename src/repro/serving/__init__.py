@@ -13,10 +13,10 @@ configurations (the common case in tuning sweeps), and
 over HTTP (``repro-serve``).  Everything is stdlib + NumPy.
 """
 
-from .batcher import MicroBatcher
+from .batcher import BatcherClosedError, MicroBatcher
 from .cache import PredictionCache
 from .client import ServingClient, ServingError
-from .engine import ServingEngine
+from .engine import PredictionResult, ServingEngine
 from .metrics import ServingMetrics
 from .registry import ModelRegistry, RegistryEntry
 from .server import ServingHTTPServer, create_server
@@ -25,9 +25,11 @@ __all__ = [
     "ModelRegistry",
     "RegistryEntry",
     "MicroBatcher",
+    "BatcherClosedError",
     "PredictionCache",
     "ServingMetrics",
     "ServingEngine",
+    "PredictionResult",
     "ServingHTTPServer",
     "create_server",
     "ServingClient",

@@ -22,13 +22,22 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["PredictionFuture", "MicroBatcher"]
+from ..reliability.faults import SITE_BATCHER_FLUSH
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultPlan
+
+__all__ = ["PredictionFuture", "MicroBatcher", "BatcherClosedError"]
 
 _SHUTDOWN = object()
+
+
+class BatcherClosedError(RuntimeError):
+    """The batcher was closed before this query could run."""
 
 
 class PredictionFuture:
@@ -83,6 +92,10 @@ class MicroBatcher:
     on_batch:
         Optional callback ``(batch_size) -> None`` invoked after each
         flush (metrics hook).
+    faults:
+        Optional :class:`~repro.reliability.faults.FaultPlan` consulted at
+        the ``batcher.flush`` site before each vectorized predict —
+        latency spikes and injected errors for chaos tests.
     """
 
     def __init__(
@@ -91,6 +104,7 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         on_batch: Optional[Callable[[int], None]] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -100,6 +114,7 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.on_batch = on_batch
+        self.faults = faults
         self.batches_run = 0
         self.items_run = 0
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
@@ -115,11 +130,15 @@ class MicroBatcher:
     def submit(self, vector: Sequence[float]) -> PredictionFuture:
         """Enqueue one query; returns immediately with its future."""
         if self._closed:
-            raise RuntimeError("submit() on a closed MicroBatcher")
+            raise BatcherClosedError("submit() on a closed MicroBatcher")
         future = PredictionFuture(
             np.asarray(vector, dtype=float).ravel(), self._cond
         )
         self._queue.put(future)
+        if self._closed:
+            # close() raced us: its drain may already have run, so make
+            # sure this future cannot be left waiting behind the sentinel.
+            self._fail_pending()
         return future
 
     def predict(
@@ -134,12 +153,22 @@ class MicroBatcher:
         return self.items_run / self.batches_run if self.batches_run else 0.0
 
     def close(self, timeout: float = 5.0) -> None:
-        """Flush pending queries and stop the worker thread."""
+        """Stop the worker and *fail* still-queued queries immediately.
+
+        The in-flight batch (already handed to ``predict_fn``) completes
+        normally; everything still waiting in the queue gets a
+        :class:`BatcherClosedError` instead of blocking its caller until a
+        ``result(timeout)`` lapses — a dead batcher must never strand its
+        clients.
+        """
         if self._closed:
             return
         self._closed = True
         self._queue.put(_SHUTDOWN)
         self._worker.join(timeout)
+        # Backstop: if the worker is wedged in predict_fn (or already
+        # gone), drain from this thread so no caller stays blocked.
+        self._fail_pending()
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -153,12 +182,35 @@ class MicroBatcher:
         while True:
             head = self._queue.get()
             if head is _SHUTDOWN:
+                self._fail_pending()
                 return
             batch = [head]
             stop = self._gather(batch)
             self._flush(batch)
             if stop:
+                self._fail_pending()
                 return
+
+    def _fail_pending(self) -> None:
+        """Fail everything still queued with :class:`BatcherClosedError`."""
+        error = BatcherClosedError(
+            "MicroBatcher closed before this query could run"
+        )
+        failed: List[PredictionFuture] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            failed.append(item)
+        if failed:
+            with self._cond:
+                for future in failed:
+                    future._error = error
+                    future._done = True
+                self._cond.notify_all()
 
     def _gather(self, batch: List[PredictionFuture]) -> bool:
         """Fill ``batch`` until full, the wait budget lapses, or shutdown."""
@@ -184,6 +236,8 @@ class MicroBatcher:
 
     def _flush(self, batch: List[PredictionFuture]) -> None:
         try:
+            if self.faults is not None:
+                self.faults.fire(SITE_BATCHER_FLUSH)
             outputs = self.predict_fn(np.vstack([f.vector for f in batch]))
             outputs = np.asarray(outputs, dtype=float)
             if outputs.shape[0] != len(batch):

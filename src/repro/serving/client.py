@@ -3,6 +3,14 @@
 Used by the tests, the serving benchmark, and scripts that want to query a
 running ``repro-serve`` without hand-rolling HTTP.  Single dependency-free
 file; the only non-stdlib import is NumPy for the array convenience.
+
+Reliability: the client can carry a per-request deadline (sent as the
+``X-Deadline-Ms`` header, honoured server-side all the way into the
+micro-batcher wait) and an optional
+:class:`~repro.reliability.policies.RetryPolicy` that retries transient
+failures — connection errors and 503s, honouring the server's
+``Retry-After`` hint — without ever outliving the deadline.  ``/predict``
+is a pure function of its body, so retrying the POST is safe.
 """
 
 from __future__ import annotations
@@ -14,18 +22,32 @@ from urllib.request import Request, urlopen
 
 import numpy as np
 
+from ..reliability.policies import Deadline, RetryPolicy
 from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
 
 __all__ = ["ServingError", "ServingClient"]
+
+#: HTTP statuses worth retrying: the server said "try again later".
+_RETRYABLE_STATUSES = frozenset({503})
 
 
 class ServingError(Exception):
     """An HTTP-level failure reported by the server."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: Server-suggested backoff (seconds) from the Retry-After header.
+        self.retry_after = retry_after
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    if isinstance(exc, ServingError):
+        return exc.status in _RETRYABLE_STATUSES
+    return isinstance(exc, (URLError, ConnectionError, TimeoutError))
 
 
 class ServingClient:
@@ -36,12 +58,28 @@ class ServingClient:
     base_url:
         e.g. ``"http://127.0.0.1:8700"`` (no trailing slash needed).
     timeout:
-        Socket timeout (seconds) for every call.
+        Socket timeout (seconds) for every call; also the default
+        per-request deadline budget.
+    retry:
+        Optional :class:`~repro.reliability.policies.RetryPolicy` applied
+        to every request (503s and connection errors are retried; 4xx
+        never are).
+    send_deadline:
+        Attach ``X-Deadline-Ms`` to ``/predict`` calls so the server can
+        abandon work the client has already given up on.
     """
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        send_deadline: bool = True,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = retry
+        self.send_deadline = bool(send_deadline)
 
     # ------------------------------------------------------------------
 
@@ -49,22 +87,35 @@ class ServingClient:
         self,
         model: str,
         config: Union[Dict[str, float], Sequence[float]],
+        deadline_s: Optional[float] = None,
     ) -> Dict[str, float]:
         """Predict one configuration; returns ``{indicator: value}``."""
         body = {"model": model, "config": self._as_config(config)}
-        return self._post_json("/predict", body)["prediction"]
+        return self._post_json("/predict", body, deadline_s)["prediction"]
+
+    def predict_detailed(
+        self,
+        model: str,
+        config: Union[Dict[str, float], Sequence[float]],
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Like :meth:`predict` but returns the full response body —
+        including the ``degraded`` flag and answer ``source``."""
+        body = {"model": model, "config": self._as_config(config)}
+        return self._post_json("/predict", body, deadline_s)
 
     def predict_many(
         self,
         model: str,
         configs: Sequence[Union[Dict[str, float], Sequence[float]]],
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Predict many configurations; returns an ``(n, 5)`` array."""
         body = {
             "model": model,
             "configs": [self._as_config(c) for c in configs],
         }
-        payload = self._post_json("/predict", body)
+        payload = self._post_json("/predict", body, deadline_s)
         return np.array(
             [[p[name] for name in OUTPUT_NAMES] for p in payload["predictions"]],
             dtype=float,
@@ -75,11 +126,23 @@ class ServingClient:
         return self._get_json("/models")["models"]
 
     def healthz(self) -> bool:
-        """Whether the server answers its liveness probe."""
+        """Whether the server can still answer (healthy *or* degraded)."""
         try:
-            return self._get_json("/healthz").get("status") == "ok"
+            return self._get_json("/healthz").get("status") in (
+                "ok", "healthy", "degraded",
+            )
         except (ServingError, URLError, OSError):
             return False
+
+    def health(self) -> dict:
+        """The full ``/healthz`` payload (status, breakers, fallbacks)."""
+        try:
+            return self._get_json("/healthz")
+        except ServingError as exc:
+            try:
+                return json.loads(exc.message)
+            except (json.JSONDecodeError, TypeError):
+                raise exc from None
 
     def metrics(self) -> dict:
         """The metrics snapshot as a dict."""
@@ -110,12 +173,19 @@ class ServingClient:
     def _get_json(self, path: str) -> dict:
         return json.loads(self._request("GET", path))
 
-    def _post_json(self, path: str, body: dict) -> dict:
+    def _post_json(
+        self, path: str, body: dict, deadline_s: Optional[float] = None
+    ) -> dict:
         data = json.dumps(body).encode()
+        deadline = None
+        if self.send_deadline:
+            budget = self.timeout if deadline_s is None else float(deadline_s)
+            deadline = Deadline(budget)
         return json.loads(
             self._request(
                 "POST", path, data=data,
                 headers={"Content-Type": "application/json"},
+                deadline=deadline,
             )
         )
 
@@ -125,23 +195,48 @@ class ServingClient:
         path: str,
         data: Optional[bytes] = None,
         headers: Optional[dict] = None,
+        deadline: Optional[Deadline] = None,
     ) -> bytes:
-        request = Request(
-            self.base_url + path,
-            data=data,
-            headers=headers or {},
-            method=method,
-        )
-        try:
-            with urlopen(request, timeout=self.timeout) as response:
-                return response.read()
-        except HTTPError as exc:
-            raw = exc.read()
+        def attempt() -> bytes:
+            request_headers = dict(headers or {})
+            timeout = self.timeout
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise ServingError(504, "client deadline exhausted")
+                request_headers["X-Deadline-Ms"] = str(
+                    max(1, int(remaining * 1000))
+                )
+                timeout = deadline.clamp(timeout)
+            request = Request(
+                self.base_url + path,
+                data=data,
+                headers=request_headers,
+                method=method,
+            )
             try:
-                message = json.loads(raw).get("error", raw.decode())
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                message = raw.decode(errors="replace")
-            raise ServingError(exc.code, message) from None
+                with urlopen(request, timeout=timeout) as response:
+                    return response.read()
+            except HTTPError as exc:
+                raw = exc.read()
+                try:
+                    message = json.loads(raw).get("error", raw.decode())
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = raw.decode(errors="replace")
+                retry_after = None
+                raw_hint = exc.headers.get("Retry-After")
+                if raw_hint is not None:
+                    try:
+                        retry_after = float(raw_hint)
+                    except ValueError:
+                        retry_after = None
+                raise ServingError(exc.code, message, retry_after) from None
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.call(
+            attempt, deadline=deadline, retry_on=_is_retryable
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ServingClient({self.base_url!r})"

@@ -1,4 +1,4 @@
-"""The in-process serving engine: registry + cache + per-model batchers.
+"""The in-process serving engine: registry + cache + batchers + reliability.
 
 :class:`ServingEngine` is the piece every front end shares — the HTTP
 server, the benchmark, and embedded callers all route queries through it.
@@ -8,24 +8,78 @@ model's :class:`~repro.serving.batcher.MicroBatcher` (coalescing with
 concurrent callers) or straight into one vectorized ``predict`` when
 batching is off.  All traffic is counted in
 :class:`~repro.serving.metrics.ServingMetrics`.
+
+The engine is also where the reliability layer lives:
+
+* a per-model :class:`~repro.reliability.policies.CircuitBreaker` guards
+  the MLP path — repeated artifact/model failures open it, and recovery is
+  probed half-open before trusting the path again;
+* a linear surrogate is distilled from every model at registration (first
+  successful load) and answers in the MLP's place when the primary path
+  fails, the breaker is open, or the admission queue is past its soft
+  bound — callers see a *degraded* 2xx instead of an error;
+* admission control sheds load past the hard bound with
+  :class:`~repro.reliability.degradation.OverloadedError` (HTTP 503 +
+  ``Retry-After``), and a
+  :class:`~repro.reliability.degradation.HealthMonitor` turns breaker +
+  shedding state into the ``healthy/degraded/unhealthy`` answer on
+  ``/healthz``;
+* an optional :class:`~repro.reliability.policies.Deadline` rides each
+  request from the client through here into the batcher wait.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..reliability.degradation import (
+    HealthMonitor,
+    OverloadedError,
+    fit_linear_surrogate,
+)
+from ..reliability.policies import (
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+)
 from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
 from .batcher import MicroBatcher
 from .cache import PredictionCache
 from .metrics import ServingMetrics
 from .registry import ModelRegistry
 
-__all__ = ["ServingEngine"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..models.linear import LinearWorkloadModel
+    from ..reliability.faults import FaultPlan
+
+__all__ = ["ServingEngine", "PredictionResult"]
+
+_SURROGATE_SOURCE = "surrogate:linear"
+
+
+@dataclass
+class PredictionResult:
+    """Outputs plus the provenance the HTTP layer surfaces to callers."""
+
+    outputs: np.ndarray
+    degraded: bool = False
+    source: str = "mlp"
+
+
+@dataclass
+class _Surrogate:
+    """A distilled fallback model pinned to the artifact it was fit from."""
+
+    mtime_ns: int
+    model: "LinearWorkloadModel"
 
 
 class ServingEngine:
@@ -44,6 +98,27 @@ class ServingEngine:
         Micro-batcher knobs (see :class:`~repro.serving.batcher.MicroBatcher`).
     cache_size / cache_decimals:
         Prediction-cache knobs; ``cache_size=0`` disables caching.
+    fallback:
+        Distill a linear surrogate from each model at registration and
+        answer from it (flagged *degraded*) when the MLP path fails.
+    max_inflight:
+        Soft admission bound: above this many concurrent requests the
+        engine answers from the surrogate instead of queueing on the
+        batcher.  ``None`` disables the bound.
+    shed_inflight:
+        Hard admission bound: above this many concurrent requests the
+        engine sheds with :class:`OverloadedError` (→ 503 + Retry-After).
+        ``None`` disables shedding.
+    breaker_window / breaker_failure_threshold / breaker_min_samples /
+    breaker_reset_timeout:
+        Per-model :class:`CircuitBreaker` knobs.
+    retry_after_s:
+        The ``Retry-After`` hint attached to shed requests.
+    clock:
+        Monotonic time source for the breakers (injectable for tests).
+    faults:
+        Optional :class:`~repro.reliability.faults.FaultPlan` handed to
+        the registry (when built here) and every micro-batcher.
     """
 
     def __init__(
@@ -54,17 +129,45 @@ class ServingEngine:
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
         cache_decimals: int = 6,
+        fallback: bool = True,
+        max_inflight: Optional[int] = None,
+        shed_inflight: Optional[int] = None,
+        breaker_window: int = 10,
+        breaker_failure_threshold: float = 0.5,
+        breaker_min_samples: int = 3,
+        breaker_reset_timeout: float = 5.0,
+        retry_after_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        faults: Optional["FaultPlan"] = None,
     ):
         if not isinstance(registry, ModelRegistry):
-            registry = ModelRegistry(registry)
+            registry = ModelRegistry(registry, faults=faults)
         self.registry = registry
         self.batching = bool(batching)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
+        self.fallback = bool(fallback)
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if shed_inflight is not None and shed_inflight < 1:
+            raise ValueError(f"shed_inflight must be >= 1, got {shed_inflight}")
+        self.max_inflight = max_inflight
+        self.shed_inflight = shed_inflight
+        self.breaker_window = int(breaker_window)
+        self.breaker_failure_threshold = float(breaker_failure_threshold)
+        self.breaker_min_samples = int(breaker_min_samples)
+        self.breaker_reset_timeout = float(breaker_reset_timeout)
+        self.retry_after_s = float(retry_after_s)
+        self.clock = clock
+        self.faults = faults
         self.cache = PredictionCache(cache_size, decimals=cache_decimals)
         self.metrics = ServingMetrics(cache=self.cache)
+        self.health_monitor = HealthMonitor()
         self._batchers: Dict[str, MicroBatcher] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._surrogates: Dict[str, _Surrogate] = {}
         self._seen_mtimes: Dict[str, int] = {}
+        self._inflight = 0
         self._lock = threading.Lock()
         self._closed = False
 
@@ -75,13 +178,32 @@ class ServingEngine:
         return self.registry.list_models()
 
     def predict(
-        self, model_name: str, configs: Sequence[Sequence[float]]
+        self,
+        model_name: str,
+        configs: Sequence[Sequence[float]],
+        deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
         """Predict indicators for ``configs`` (rows in ``INPUT_NAMES`` order).
 
         Returns an ``(n, len(OUTPUT_NAMES))`` array in ``OUTPUT_NAMES``
         column order.  Raises :class:`KeyError` for an unknown model and
-        :class:`ValueError` for malformed input.
+        :class:`ValueError` for malformed input.  See
+        :meth:`predict_detailed` for the degraded/source annotations.
+        """
+        return self.predict_detailed(model_name, configs, deadline).outputs
+
+    def predict_detailed(
+        self,
+        model_name: str,
+        configs: Sequence[Sequence[float]],
+        deadline: Optional[Deadline] = None,
+    ) -> PredictionResult:
+        """Like :meth:`predict` but reports whether a fallback answered.
+
+        Raises :class:`OverloadedError` when the hard admission bound
+        sheds the request, :class:`CircuitOpenError` when the breaker is
+        open and no surrogate exists, and :class:`DeadlineExceeded` when
+        the caller's budget lapses mid-request.
         """
         start = time.perf_counter()
         x = np.asarray(configs, dtype=float)
@@ -95,8 +217,103 @@ class ServingEngine:
         if not np.all(np.isfinite(x)):
             raise ValueError("configs must be finite numbers")
 
+        with self._lock:
+            self._inflight += 1
+            inflight = self._inflight
+        try:
+            if (
+                self.shed_inflight is not None
+                and inflight > self.shed_inflight
+            ):
+                self.metrics.record_shed()
+                raise OverloadedError(retry_after=self.retry_after_s)
+            soft_overloaded = (
+                self.max_inflight is not None and inflight > self.max_inflight
+            )
+            result = self._predict_guarded(
+                model_name, x, deadline, soft_overloaded
+            )
+        finally:
+            with self._lock:
+                self._inflight -= 1
+        if result.degraded:
+            self.metrics.record_degraded()
+        self.metrics.record_request(x.shape[0], time.perf_counter() - start)
+        return result
+
+    def predict_one(
+        self, model_name: str, config: Sequence[float]
+    ) -> np.ndarray:
+        """Single-configuration convenience; returns a length-5 vector."""
+        return self.predict(model_name, [config])[0]
+
+    # ------------------------------------------------------------------
+    # guarded prediction path
+    # ------------------------------------------------------------------
+
+    def _predict_guarded(
+        self,
+        model_name: str,
+        x: np.ndarray,
+        deadline: Optional[Deadline],
+        soft_overloaded: bool,
+    ) -> PredictionResult:
+        breaker = self._breaker_for(model_name)
+        surrogate = self._surrogates.get(model_name)
+        shortcut_to_fallback = (
+            soft_overloaded and self.fallback and surrogate is not None
+        )
+        primary_error: Optional[BaseException] = None
+        if not shortcut_to_fallback and breaker.allow():
+            try:
+                outputs = self._predict_primary(model_name, x, deadline)
+            except KeyError:
+                # Unknown model (no artifact on disk) — a caller error,
+                # not a path failure; don't move the breaker.
+                breaker.cancel()
+                raise
+            except DeadlineExceeded:
+                # The budget died waiting on this path: that is a primary
+                # failure, but there is no time left to fall back.
+                breaker.record_failure()
+                raise
+            except Exception as exc:  # noqa: BLE001 - routed to fallback
+                breaker.record_failure()
+                primary_error = exc
+            else:
+                breaker.record_success()
+                return PredictionResult(outputs, degraded=False, source="mlp")
+        surrogate = self._surrogates.get(model_name)
+        if self.fallback and surrogate is not None:
+            outputs = np.asarray(surrogate.model.predict(x), dtype=float)
+            return PredictionResult(
+                outputs, degraded=True, source=_SURROGATE_SOURCE
+            )
+        if primary_error is not None:
+            raise primary_error
+        if soft_overloaded:
+            self.metrics.record_shed()
+            raise OverloadedError(retry_after=self.retry_after_s)
+        raise CircuitOpenError(
+            retry_after=max(breaker.retry_after(), 0.05),
+            message=(
+                f"model {model_name!r} is circuit-broken and has no "
+                f"fallback; retry after {breaker.retry_after():.2f}s"
+            ),
+        )
+
+    def _predict_primary(
+        self,
+        model_name: str,
+        x: np.ndarray,
+        deadline: Optional[Deadline],
+    ) -> np.ndarray:
+        """The original cache → batcher → model path (may raise freely)."""
+        if deadline is not None:
+            deadline.check("predict")
         entry = self.registry.get_entry(model_name)  # KeyError if unknown
         self._note_mtime(model_name, entry.mtime_ns)
+        self._ensure_surrogate(model_name, entry)
         model = entry.model
         out = np.empty((x.shape[0], len(OUTPUT_NAMES)), dtype=float)
         miss_rows: List[int] = []
@@ -119,21 +336,66 @@ class ServingEngine:
                 batcher = self._batcher_for(model_name)
                 futures = [batcher.submit(x[i]) for i in lead_rows]
                 for i, future in zip(lead_rows, futures):
-                    out[i] = future.result(timeout=30.0)
+                    timeout = 30.0
+                    if deadline is not None:
+                        timeout = deadline.clamp(timeout)
+                    try:
+                        out[i] = future.result(timeout=timeout)
+                    except TimeoutError:
+                        if deadline is not None and deadline.expired:
+                            raise DeadlineExceeded(
+                                "prediction exceeded its deadline waiting "
+                                "on the micro-batcher"
+                            ) from None
+                        raise
             else:
                 out[lead_rows] = model.predict(x[lead_rows])
             for rows in groups.values():
                 out[rows[1:]] = out[rows[0]]
                 self.cache.put(keys[rows[0]], out[rows[0]])
-
-        self.metrics.record_request(x.shape[0], time.perf_counter() - start)
         return out
 
-    def predict_one(
-        self, model_name: str, config: Sequence[float]
-    ) -> np.ndarray:
-        """Single-configuration convenience; returns a length-5 vector."""
-        return self.predict(model_name, [config])[0]
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: status plus the evidence behind it."""
+        models = self.list_models()
+        breakers = {
+            name: breaker.state for name, breaker in self._breakers.items()
+        }
+        with self._lock:
+            inflight = self._inflight
+            closed = self._closed
+        shedding = (
+            self.shed_inflight is not None and inflight > self.shed_inflight
+        )
+        open_without_fallback = [
+            name
+            for name, state in breakers.items()
+            if state == OPEN
+            and not (self.fallback and name in self._surrogates)
+        ]
+        servable = (
+            not closed
+            and bool(models)
+            and (not breakers or len(open_without_fallback) < len(breakers))
+        )
+        status = self.health_monitor.update(
+            breakers, shedding=shedding, servable=servable
+        )
+        return {
+            "status": status,
+            "models": len(models),
+            "breakers": breakers,
+            "fallbacks": sorted(self._surrogates),
+            "inflight": inflight,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
 
     def reload(self, model_name: str) -> None:
         """Hot-swap one model and drop its now-stale cached predictions."""
@@ -168,6 +430,48 @@ class ServingEngine:
         if previous is not None and previous != mtime_ns:
             self.cache.invalidate_model(model_name)
 
+    def _ensure_surrogate(self, model_name: str, entry) -> None:
+        """(Re)fit the fallback surrogate when the artifact changes.
+
+        Registration-time distillation: the surrogate is fit from the
+        loaded MLP the first time an artifact version serves, and the last
+        good surrogate survives later load failures — that is the whole
+        point of having it.
+        """
+        if not self.fallback:
+            return
+        current = self._surrogates.get(model_name)
+        if current is not None and current.mtime_ns == entry.mtime_ns:
+            return
+        try:
+            surrogate = fit_linear_surrogate(entry.model)
+        except Exception:  # noqa: BLE001 - fallback is best-effort
+            return
+        with self._lock:
+            self._surrogates[model_name] = _Surrogate(
+                mtime_ns=entry.mtime_ns, model=surrogate
+            )
+
+    def _breaker_for(self, model_name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(model_name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    window=self.breaker_window,
+                    failure_threshold=self.breaker_failure_threshold,
+                    min_samples=self.breaker_min_samples,
+                    reset_timeout=self.breaker_reset_timeout,
+                    clock=self.clock,
+                    name=model_name,
+                    on_state_change=(
+                        lambda old, new, name=model_name:
+                        self.metrics.set_breaker_state(name, new)
+                    ),
+                )
+                self._breakers[model_name] = breaker
+                self.metrics.set_breaker_state(model_name, breaker.state)
+            return breaker
+
     def _batcher_for(self, model_name: str) -> MicroBatcher:
         with self._lock:
             if self._closed:
@@ -181,6 +485,7 @@ class ServingEngine:
                     max_batch_size=self.max_batch_size,
                     max_wait_ms=self.max_wait_ms,
                     on_batch=self.metrics.record_batch,
+                    faults=self.faults,
                 )
                 self._batchers[model_name] = batcher
             return batcher

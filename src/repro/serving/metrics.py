@@ -1,8 +1,10 @@
 """Serving observability: counters plus a ring-buffer latency histogram.
 
-Monotonic counters track requests, predictions, batches, and errors; a
+Monotonic counters track requests, predictions, batches, errors, and the
+reliability layer's outcomes (degraded answers, shed requests); a
 fixed-size ring buffer of recent request latencies yields p50/p95/p99
-without unbounded memory.  Rendered two ways: a plain ``dict`` (for the
+without unbounded memory, and a per-model gauge mirrors each circuit
+breaker's state.  Rendered two ways: a plain ``dict`` (for the
 JSON-minded) and a Prometheus-style text exposition (for scrapers).
 """
 
@@ -14,6 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..reliability.policies import BREAKER_STATES
 from .cache import PredictionCache
 
 __all__ = ["ServingMetrics"]
@@ -45,6 +48,9 @@ class ServingMetrics:
         self.batches_total = 0
         self.batched_items_total = 0
         self.errors_total = 0
+        self.degraded_requests_total = 0
+        self.shed_requests_total = 0
+        self._breaker_states: Dict[str, str] = {}
         self._latencies = deque(maxlen=int(window))
         self._lock = threading.Lock()
 
@@ -69,6 +75,31 @@ class ServingMetrics:
         """One failed request (validation or model error)."""
         with self._lock:
             self.errors_total += 1
+
+    def record_degraded(self) -> None:
+        """One request answered by a fallback tier instead of the MLP."""
+        with self._lock:
+            self.degraded_requests_total += 1
+
+    def record_shed(self) -> None:
+        """One request refused by load shedding (503 + Retry-After)."""
+        with self._lock:
+            self.shed_requests_total += 1
+
+    def set_breaker_state(self, model: str, state: str) -> None:
+        """Mirror one model's circuit-breaker state into the gauge."""
+        if state not in BREAKER_STATES:
+            raise ValueError(
+                f"unknown breaker state {state!r}; "
+                f"expected one of {sorted(BREAKER_STATES)}"
+            )
+        with self._lock:
+            self._breaker_states[model] = state
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Snapshot of the per-model breaker-state gauge."""
+        with self._lock:
+            return dict(self._breaker_states)
 
     # ------------------------------------------------------------------
     # reading
@@ -100,9 +131,12 @@ class ServingMetrics:
             "requests_total": self.requests_total,
             "predictions_total": self.predictions_total,
             "errors_total": self.errors_total,
+            "degraded_requests_total": self.degraded_requests_total,
+            "shed_requests_total": self.shed_requests_total,
             "batches_total": self.batches_total,
             "batched_items_total": self.batched_items_total,
             "mean_batch_occupancy": self.mean_batch_occupancy,
+            "breaker_states": self.breaker_states(),
             "latency_seconds": self.latency_quantiles(),
         }
         if self.cache is not None:
@@ -124,6 +158,11 @@ class ServingMetrics:
              "Configurations predicted.", self.predictions_total)
         emit("errors_total", "counter", "Failed requests.",
              self.errors_total)
+        emit("degraded_requests_total", "counter",
+             "Requests answered by a fallback tier.",
+             self.degraded_requests_total)
+        emit("shed_requests_total", "counter",
+             "Requests refused by load shedding.", self.shed_requests_total)
         emit("batches_total", "counter", "Micro-batches flushed.",
              self.batches_total)
         emit("batch_occupancy_mean", "gauge",
@@ -139,6 +178,18 @@ class ServingMetrics:
                  "Prediction cache hit rate.", stats["hit_rate"])
             emit("cache_entries", "gauge",
                  "Resident cache entries.", stats["size"])
+        states = self.breaker_states()
+        if states:
+            lines.append(
+                f"# HELP {prefix}_breaker_state Circuit-breaker state per "
+                "model (0=closed, 1=half_open, 2=open)."
+            )
+            lines.append(f"# TYPE {prefix}_breaker_state gauge")
+            for model in sorted(states):
+                lines.append(
+                    f'{prefix}_breaker_state{{model="{model}"}} '
+                    f"{BREAKER_STATES[states[model]]}"
+                )
         quantiles = self.latency_quantiles()
         lines.append(
             f"# HELP {prefix}_request_latency_seconds "

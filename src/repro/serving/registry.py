@@ -16,10 +16,14 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from ..models.neural import NeuralWorkloadModel
 from ..models.persistence import load_model_document, model_from_dict
+from ..reliability.faults import SITE_REGISTRY_LOAD, SITE_REGISTRY_STAT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultPlan
 
 __all__ = ["RegistryEntry", "ModelRegistry"]
 
@@ -52,15 +56,24 @@ class ModelRegistry:
         transparently reloads it if the file changed since the cached
         load — the hot-deploy path.  Disable for strictly immutable
         artifact stores to save the ``stat`` call.
+    faults:
+        Optional :class:`~repro.reliability.faults.FaultPlan` consulted at
+        the ``registry.stat`` site (before the artifact ``stat``; file
+        faults like ``corrupt_artifact``/``clock_skew`` land here) and the
+        ``registry.load`` site (before parsing).
     """
 
     def __init__(
-        self, directory: Union[str, Path], check_mtime: bool = True
+        self,
+        directory: Union[str, Path],
+        check_mtime: bool = True,
+        faults: Optional["FaultPlan"] = None,
     ):
         self.directory = Path(directory)
         if not self.directory.is_dir():
             raise ValueError(f"model directory {self.directory} does not exist")
         self.check_mtime = bool(check_mtime)
+        self.faults = faults
         self._entries: Dict[str, RegistryEntry] = {}
         self._lock = threading.Lock()
 
@@ -103,6 +116,8 @@ class ModelRegistry:
     def get_entry(self, name: str) -> RegistryEntry:
         """Like :meth:`get` but returns the full :class:`RegistryEntry`."""
         path = self.path_for(name)
+        if self.faults is not None:
+            self.faults.fire(SITE_REGISTRY_STAT, path=path)
         with self._lock:
             entry = self._entries.get(name)
             if entry is not None and not self.check_mtime:
@@ -146,6 +161,8 @@ class ModelRegistry:
     # ------------------------------------------------------------------
 
     def _load(self, name: str, path: Path, mtime_ns: int) -> RegistryEntry:
+        if self.faults is not None:
+            self.faults.fire(SITE_REGISTRY_LOAD, path=path)
         payload = load_model_document(path)
         try:
             model = model_from_dict(payload)

@@ -7,14 +7,22 @@ Endpoints
     ``{"model": "<name>", "configs": [{...}, ...]}`` where each config maps
     every name in :data:`~repro.workload.service.INPUT_NAMES` to a number.
     Response: ``{"model": ..., "predictions": [{indicator: value, ...}]}``
-    with keys in :data:`~repro.workload.service.OUTPUT_NAMES` order.
-    Field-level validation failures return 400; unknown models return 404.
+    with keys in :data:`~repro.workload.service.OUTPUT_NAMES` order, plus
+    ``"degraded": true`` and a ``"source"`` when a fallback tier answered.
+    Field-level validation failures return 400; unknown models return 404;
+    shed / circuit-broken requests return 503 with a ``Retry-After``
+    header; a blown ``X-Deadline-Ms`` budget returns 504.
 ``GET /models``
     Servable model names plus engine configuration.
 ``GET /healthz``
-    Liveness: ``{"status": "ok"}``.
+    The reliability state machine: ``{"status": "healthy" | "degraded" |
+    "unhealthy", ...}`` — 200 while the service can still answer
+    (possibly degraded), 503 when it cannot.
 ``GET /metrics``
     Prometheus text exposition (``?format=json`` for the dict form).
+
+Callers may send an ``X-Deadline-Ms`` header on ``/predict``; the budget
+is honoured through the engine into the micro-batcher wait.
 
 The server is a ``ThreadingHTTPServer``: each connection gets a thread, and
 concurrent ``/predict`` requests coalesce in the engine's micro-batchers.
@@ -24,12 +32,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple, Union
 from urllib.parse import urlparse
 
+from ..reliability.degradation import UNHEALTHY, OverloadedError
+from ..reliability.policies import CircuitOpenError, Deadline, DeadlineExceeded
 from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
 from .engine import ServingEngine
 
@@ -103,7 +114,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         parsed = urlparse(self.path)
         if parsed.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            health = self.server.engine.health()
+            status = 503 if health["status"] == UNHEALTHY else 200
+            self._send_json(status, health)
         elif parsed.path == "/models":
             engine = self.server.engine
             self._send_json(
@@ -137,8 +150,11 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(model_name, str) or not model_name:
                 raise _RequestError(400, "model: expected a non-empty string")
             vectors, single = _parse_configs(payload)
+            deadline = self._read_deadline()
             try:
-                outputs = engine.predict(model_name, vectors)
+                result = engine.predict_detailed(
+                    model_name, vectors, deadline=deadline
+                )
             except KeyError:
                 raise _RequestError(
                     404,
@@ -149,20 +165,53 @@ class _Handler(BaseHTTPRequestHandler):
             engine.metrics.record_error()
             self._send_json(exc.status, {"error": str(exc)})
             return
+        except (OverloadedError, CircuitOpenError) as exc:
+            engine.metrics.record_error()
+            retry_after = max(1, int(math.ceil(exc.retry_after)))
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
+        except DeadlineExceeded as exc:
+            engine.metrics.record_error()
+            self._send_json(504, {"error": str(exc)})
+            return
         except Exception as exc:  # noqa: BLE001 - model/artifact failures
             engine.metrics.record_error()
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
             return
         predictions = [
             {name: float(row[j]) for j, name in enumerate(OUTPUT_NAMES)}
-            for row in outputs
+            for row in result.outputs
         ]
-        body = {"model": model_name, "predictions": predictions}
+        body = {
+            "model": model_name,
+            "predictions": predictions,
+            "degraded": result.degraded,
+            "source": result.source,
+        }
         if single:
             body["prediction"] = predictions[0]
         self._send_json(200, body)
 
     # ------------------------------------------------------------------
+
+    def _read_deadline(self) -> Optional[Deadline]:
+        """Parse the optional ``X-Deadline-Ms`` budget header."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except ValueError:
+            raise _RequestError(
+                400, f"X-Deadline-Ms: expected a number, got {raw!r}"
+            ) from None
+        if budget_ms <= 0:
+            raise _RequestError(400, "X-Deadline-Ms: must be positive")
+        return Deadline(budget_ms / 1000.0)
 
     def _read_json(self) -> dict:
         length = self.headers.get("Content-Length")
@@ -180,15 +229,26 @@ class _Handler(BaseHTTPRequestHandler):
             raise _RequestError(400, "body must be a JSON object")
         return payload
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         self._send_raw(
-            status, json.dumps(payload).encode(), "application/json"
+            status, json.dumps(payload).encode(), "application/json",
+            headers=headers,
         )
 
-    def _send_raw(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[dict] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -278,6 +338,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable cross-request micro-batching",
     )
     parser.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="soft admission bound: above this, answer from the fallback "
+             "surrogate (0 disables)",
+    )
+    parser.add_argument(
+        "--shed-inflight", type=int, default=512,
+        help="hard admission bound: above this, shed with 503 + "
+             "Retry-After (0 disables)",
+    )
+    parser.add_argument(
+        "--breaker-reset-timeout", type=float, default=5.0,
+        help="seconds an open circuit breaker waits before probing",
+    )
+    parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="disable the degraded-mode linear surrogate",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
     return parser
@@ -293,6 +371,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
             cache_size=args.cache_size,
+            fallback=not args.no_fallback,
+            max_inflight=args.max_inflight or None,
+            shed_inflight=args.shed_inflight or None,
+            breaker_reset_timeout=args.breaker_reset_timeout,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))

@@ -48,6 +48,11 @@ class LoadDriver:
         Background classes (``has_web_stage=False``) arrive as a smooth
         Poisson stream — they are machine-paced, not click-paced.  ``None``
         uses the default geometric batches with mean 2.
+    fault_hook:
+        Optional zero-argument callable fired before every spawned
+        transaction — the driver's fault-injection site (see
+        :meth:`repro.reliability.faults.FaultPlan.hook`).  An ``error``
+        fault raised here models the injection tier itself failing.
     """
 
     def __init__(
@@ -59,6 +64,7 @@ class LoadDriver:
         arrival_rng: np.random.Generator,
         mix_rng: np.random.Generator,
         batch_size: Distribution = None,
+        fault_hook: Callable[[], None] = None,
     ):
         validate_mix(classes)
         if injection_rate <= 0:
@@ -72,6 +78,7 @@ class LoadDriver:
         self._arrival_rng = arrival_rng
         self._mix_rng = mix_rng
         self.batch_size = batch_size if batch_size is not None else Geometric(0.5)
+        self.fault_hook = fault_hook
         self._web_classes = [c for c in self.classes if c.has_web_stage]
         self._background_classes = [
             c for c in self.classes if not c.has_web_stage
@@ -100,6 +107,8 @@ class LoadDriver:
         self._stopped = True
 
     def _spawn(self, cls: TransactionClass) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook()
         txn = Transaction(txn_class=cls, arrived_at=self.sim.now)
         self.transactions.append(txn)
         self.injected += 1

@@ -185,6 +185,11 @@ class ThreeTierWorkload:
     collect_transactions:
         Keep the measured-window :class:`Transaction` records on the
         returned metrics (for latency breakdowns and tracing).
+    fault_hook:
+        Optional zero-argument callable wired into the
+        :class:`~repro.workload.driver.LoadDriver`'s per-transaction
+        injection site (chaos testing; see
+        :class:`repro.reliability.faults.FaultPlan`).
     """
 
     def __init__(
@@ -198,6 +203,7 @@ class ThreeTierWorkload:
         seed: int = 0,
         request_timeout: float = 0.3,
         collect_transactions: bool = False,
+        fault_hook=None,
     ):
         if warmup < 0:
             raise ValueError(f"warmup must be non-negative, got {warmup}")
@@ -212,6 +218,7 @@ class ThreeTierWorkload:
         self.seed = int(seed)
         self.request_timeout = float(request_timeout)
         self.collect_transactions = bool(collect_transactions)
+        self.fault_hook = fault_hook
 
     # ------------------------------------------------------------------
 
@@ -256,6 +263,7 @@ class ThreeTierWorkload:
             handler=server.handle,
             arrival_rng=streams.stream("arrivals"),
             mix_rng=streams.stream("mix"),
+            fault_hook=self.fault_hook,
         )
         driver.start()
         if disturbances:
