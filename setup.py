@@ -28,6 +28,7 @@ setup(
             "repro-experiments=repro.experiments.runner:main",
             "repro-characterize=repro.cli:main",
             "repro-serve=repro.cli:serve_main",
+            "repro-lifecycle=repro.cli:lifecycle_main",
         ]
     },
 )

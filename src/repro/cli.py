@@ -35,7 +35,7 @@ from .workload.sampler import (
 from .workload.scenarios import available_scenarios, scenario
 from .workload.service import ThreeTierWorkload
 
-__all__ = ["build_parser", "main", "serve_main"]
+__all__ = ["build_parser", "main", "serve_main", "lifecycle_main"]
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
@@ -43,6 +43,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     from .serving.server import main as _serve
 
     return _serve(argv)
+
+
+def lifecycle_main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro-lifecycle`` entry point (lazy import, same pattern)."""
+    from .lifecycle.cli import main as _lifecycle
+
+    return _lifecycle(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:

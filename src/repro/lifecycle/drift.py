@@ -1,0 +1,261 @@
+"""Drift detection against the deployed artifact's own statistics.
+
+Two complementary signals decide when the characterization model no longer
+describes the workload it serves:
+
+* **Configuration drift** — the paper standardizes every configuration
+  parameter with per-feature mean/standard deviation (Section 3.1), and
+  those statistics ship inside the persisted artifact.  They *are* the
+  reference distribution: standardizing live traffic with the deployed
+  scaler should yield roughly zero-mean unit-variance coordinates, so the
+  per-feature score ``|mean(z)| + |std(z) - 1|`` (a PSI-style population
+  shift measure in z-space) is ~0 in distribution and grows once traffic
+  moves where the model was never trained.
+* **Residual drift** — the paper's own error metric, the harmonic mean of
+  relative errors (Section 3.3, Table 2), computed over live
+  (prediction, measurement) pairs.  When it trends above the loose-fit
+  threshold the model is mispredicting the workload it sees, whether or
+  not the configurations moved.
+
+Either signal past its threshold marks the model *drifted*; the
+orchestrator then owns the retrain/gate/promote response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..model_selection.metrics import harmonic_mean_relative_error
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+from .observations import ObservationLog
+
+__all__ = [
+    "DriftThresholds",
+    "DriftReport",
+    "config_drift_scores",
+    "residual_errors",
+    "DriftDetector",
+]
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """When each drift signal counts as tripped.
+
+    Parameters
+    ----------
+    config_score:
+        Per-feature z-shift score above which configuration drift trips.
+        In-distribution traffic scores ``O(1/sqrt(n))``; a score of 0.5
+        means the traffic mean moved half a training standard deviation
+        (or the spread changed by half).
+    residual_error:
+        Harmonic-mean relative error (over all paired observations)
+        above which residual drift trips — chosen loose, in the spirit of
+        the Section 3.3 stopping threshold, so noise does not thrash the
+        retraining loop.
+    min_observations:
+        Below this many observations no verdict is rendered (the report
+        is marked ``insufficient``).
+    """
+
+    config_score: float = 0.5
+    residual_error: float = 0.10
+    min_observations: int = 20
+
+    def __post_init__(self):
+        if self.config_score <= 0:
+            raise ValueError(
+                f"config_score must be positive, got {self.config_score}"
+            )
+        if self.residual_error <= 0:
+            raise ValueError(
+                f"residual_error must be positive, got {self.residual_error}"
+            )
+        if self.min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+
+
+@dataclass
+class DriftReport:
+    """Everything one drift check saw, JSON-serializable via :meth:`to_dict`."""
+
+    model: str
+    n_observations: int
+    n_paired: int
+    insufficient: bool
+    drifted: bool
+    config_score: Optional[float] = None
+    per_feature: Dict[str, float] = field(default_factory=dict)
+    residual_overall: Optional[float] = None
+    residual_per_indicator: Dict[str, float] = field(default_factory=dict)
+    reasons: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "n_observations": self.n_observations,
+            "n_paired": self.n_paired,
+            "insufficient": self.insufficient,
+            "drifted": self.drifted,
+            "config_score": self.config_score,
+            "per_feature": dict(self.per_feature),
+            "residual_overall": self.residual_overall,
+            "residual_per_indicator": dict(self.residual_per_indicator),
+            "reasons": list(self.reasons),
+        }
+
+
+def config_drift_scores(
+    configs: np.ndarray, mean: np.ndarray, scale: np.ndarray
+) -> np.ndarray:
+    """Per-feature drift score of ``configs`` against reference statistics.
+
+    Standardizes with the reference (the deployed artifact's Section 3.1
+    scaler) and scores each feature ``|mean(z)| + |std(z) - 1|``.
+    """
+    configs = np.asarray(configs, dtype=float)
+    if configs.ndim != 2 or configs.shape[0] == 0:
+        raise ValueError(
+            f"configs must be a non-empty 2-D array, got shape {configs.shape}"
+        )
+    mean = np.asarray(mean, dtype=float).ravel()
+    scale = np.asarray(scale, dtype=float).ravel()
+    if configs.shape[1] != mean.size or mean.size != scale.size:
+        raise ValueError(
+            f"reference statistics ({mean.size} features) do not match "
+            f"configs ({configs.shape[1]} features)"
+        )
+    z = (configs - mean) / scale
+    return np.abs(z.mean(axis=0)) + np.abs(z.std(axis=0) - 1.0)
+
+
+def residual_errors(
+    predicted: np.ndarray,
+    measured: np.ndarray,
+    min_actual: float = 1e-9,
+) -> np.ndarray:
+    """Per-indicator harmonic-mean relative error of live pairs.
+
+    Relative error is undefined at zero and explodes for vanishing
+    measurements (e.g. effective throughput of a fully saturated system),
+    so each indicator is judged only on rows where its measured value
+    exceeds ``min_actual``; an indicator with fewer than two such rows
+    gets ``NaN`` — "no verdict" — rather than poisoning the maximum.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if predicted.ndim == 1:
+        predicted = predicted.reshape(-1, 1)
+    if measured.ndim == 1:
+        measured = measured.reshape(-1, 1)
+    if predicted.shape != measured.shape or predicted.shape[0] == 0:
+        raise ValueError(
+            f"predicted {predicted.shape} and measured {measured.shape} "
+            "must be equal non-empty shapes"
+        )
+    errors = np.full(measured.shape[1], np.nan)
+    for j in range(measured.shape[1]):
+        valid = np.abs(measured[:, j]) > min_actual
+        if int(valid.sum()) < 2:
+            continue
+        errors[j] = harmonic_mean_relative_error(
+            predicted[valid, j], measured[valid, j]
+        )
+    return errors
+
+
+class DriftDetector:
+    """Scores an observation log against a deployed model's statistics."""
+
+    def __init__(self, thresholds: Optional[DriftThresholds] = None):
+        self.thresholds = thresholds or DriftThresholds()
+
+    def check(
+        self,
+        log: ObservationLog,
+        model_name: str,
+        reference_model,
+    ) -> DriftReport:
+        """One drift verdict for ``model_name``.
+
+        ``reference_model`` is the deployed
+        :class:`~repro.models.neural.NeuralWorkloadModel`; its fitted
+        input scaler provides the reference distribution.  Models fitted
+        without standardization (identity scaler) skip the configuration
+        signal and rely on residual drift alone.
+        """
+        configs = log.configs(model_name)
+        _, predicted, measured = log.paired(model_name)
+        n_observations = 0 if configs.size == 0 else configs.shape[0]
+        n_paired = 0 if predicted.size == 0 else predicted.shape[0]
+        report = DriftReport(
+            model=model_name,
+            n_observations=n_observations,
+            n_paired=n_paired,
+            insufficient=n_observations < self.thresholds.min_observations,
+            drifted=False,
+        )
+        if report.insufficient:
+            report.reasons.append(
+                f"insufficient observations "
+                f"({n_observations} < {self.thresholds.min_observations})"
+            )
+            return report
+
+        scaler = getattr(reference_model, "x_scaler_", None)
+        mean = getattr(scaler, "mean_", None)
+        scale = getattr(scaler, "scale_", None)
+        if mean is not None and scale is not None:
+            scores = config_drift_scores(configs, mean, scale)
+            names = (
+                INPUT_NAMES
+                if scores.size == len(INPUT_NAMES)
+                else [f"x{j}" for j in range(scores.size)]
+            )
+            report.per_feature = {
+                name: float(s) for name, s in zip(names, scores)
+            }
+            report.config_score = float(scores.max())
+            if report.config_score > self.thresholds.config_score:
+                worst = max(report.per_feature, key=report.per_feature.get)
+                report.drifted = True
+                report.reasons.append(
+                    f"configuration drift: {worst} scored "
+                    f"{report.per_feature[worst]:.3f} > "
+                    f"{self.thresholds.config_score}"
+                )
+
+        if n_paired >= self.thresholds.min_observations:
+            per_indicator = residual_errors(predicted, measured)
+            if not np.all(np.isnan(per_indicator)):
+                names = (
+                    OUTPUT_NAMES
+                    if per_indicator.size == len(OUTPUT_NAMES)
+                    else [f"y{j}" for j in range(per_indicator.size)]
+                )
+                report.residual_per_indicator = {
+                    name: float(e)
+                    for name, e in zip(names, per_indicator)
+                    if not np.isnan(e)
+                }
+                report.residual_overall = float(
+                    max(report.residual_per_indicator.values())
+                )
+                if report.residual_overall > self.thresholds.residual_error:
+                    worst = max(
+                        report.residual_per_indicator,
+                        key=report.residual_per_indicator.get,
+                    )
+                    report.drifted = True
+                    report.reasons.append(
+                        f"residual drift: {worst} harmonic-mean relative "
+                        f"error {report.residual_per_indicator[worst]:.3f} > "
+                        f"{self.thresholds.residual_error}"
+                    )
+        return report

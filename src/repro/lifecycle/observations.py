@@ -1,0 +1,415 @@
+"""Traffic capture: the observation log feeding the continuous-learning loop.
+
+The paper trains its MLP once on a batch of sampled configurations
+(Section 2.2); a production characterization model must keep watching the
+workload it describes.  An :class:`Observation` is one served or measured
+data point — a configuration vector, optionally the model's prediction for
+it, and optionally the ground truth the workload driver measured.  The
+:class:`ObservationLog` is a thread-safe ring buffer of recent
+observations with an optional JSONL spill for durability, cheap enough to
+sit on the serving hot path: recording is one lock, one deque append, and
+(below sampling rate 1.0) one RNG draw.
+
+Two producers feed it:
+
+* the :class:`~repro.serving.engine.ServingEngine` ``observer`` hook
+  (:func:`serving_tap`) records what traffic actually asked for and what
+  the model answered — the configuration stream drives *config drift*;
+* the workload driver, acting as ground truth, records
+  (configuration → measured indicators) pairs — prediction/measurement
+  pairs drive *residual drift* and become the retraining sample
+  collection.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.engine import ServingEngine
+    from ..serving.metrics import ServingMetrics
+
+__all__ = ["Observation", "ObservationLog", "serving_tap"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One captured data point of the serving/measurement stream."""
+
+    model: str
+    config: Tuple[float, ...]
+    predicted: Optional[Tuple[float, ...]] = None
+    measured: Optional[Tuple[float, ...]] = None
+    source: str = "serving"
+    seq: int = 0
+
+    @property
+    def is_paired(self) -> bool:
+        """Whether both a prediction and a measurement are present."""
+        return self.predicted is not None and self.measured is not None
+
+    def to_json(self) -> str:
+        """One JSONL line (the spill format)."""
+        return json.dumps(
+            {
+                "model": self.model,
+                "config": list(self.config),
+                "predicted": (
+                    None if self.predicted is None else list(self.predicted)
+                ),
+                "measured": (
+                    None if self.measured is None else list(self.measured)
+                ),
+                "source": self.source,
+                "seq": self.seq,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "Observation":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(line)
+        return cls(
+            model=payload["model"],
+            config=tuple(float(v) for v in payload["config"]),
+            predicted=(
+                None
+                if payload.get("predicted") is None
+                else tuple(float(v) for v in payload["predicted"])
+            ),
+            measured=(
+                None
+                if payload.get("measured") is None
+                else tuple(float(v) for v in payload["measured"])
+            ),
+            source=payload.get("source", "serving"),
+            seq=int(payload.get("seq", 0)),
+        )
+
+
+def _vector(values: Optional[Sequence[float]]) -> Optional[Tuple[float, ...]]:
+    if values is None:
+        return None
+    if isinstance(values, np.ndarray):
+        return tuple(values.ravel().tolist())
+    return tuple(map(float, values))
+
+
+def _row_to_json(row: tuple) -> str:
+    """One JSONL spill line from a raw buffer row (same shape as
+    :meth:`Observation.to_json`, without building the dataclass)."""
+    model, config, predicted, measured, source, seq = row
+    return json.dumps(
+        {
+            "model": model,
+            "config": list(config),
+            "predicted": None if predicted is None else list(predicted),
+            "measured": None if measured is None else list(measured),
+            "source": source,
+            "seq": seq,
+        }
+    )
+
+
+class ObservationLog:
+    """Bounded, thread-safe capture buffer with optional JSONL spill.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer bound; the oldest observation is dropped when full.
+    sampling_rate:
+        Probability of keeping each offered observation.  ``1.0`` keeps
+        everything (and skips the RNG draw entirely — the hot-path
+        default), ``0.0`` drops everything; in between the decision is
+        deterministic under ``seed``.
+    seed:
+        Seed for the sampling stream.
+    spill_path:
+        When given, every *accepted* observation is also appended to this
+        JSONL file, so capture survives a restart of the serving process
+        (:meth:`replay` reloads it).
+    metrics:
+        Optional :class:`~repro.serving.metrics.ServingMetrics` whose
+        ``observations_total`` counter mirrors accepted records.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        sampling_rate: float = 1.0,
+        seed: int = 0,
+        spill_path: Optional[Union[str, Path]] = None,
+        metrics: Optional["ServingMetrics"] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= sampling_rate <= 1.0:
+            raise ValueError(
+                f"sampling_rate must be in [0, 1], got {sampling_rate}"
+            )
+        self.capacity = int(capacity)
+        self.sampling_rate = float(sampling_rate)
+        self.spill_path = None if spill_path is None else Path(spill_path)
+        self.metrics = metrics
+        self.observations_total = 0
+        self.sampled_out_total = 0
+        # Raw rows: (model, config, predicted, measured, source, seq).
+        self._buffer: "deque[tuple]" = deque(maxlen=self.capacity)
+        self._rng = np.random.default_rng(seed)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._spill_handle = None
+        if self.spill_path is not None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self._spill_handle = self.spill_path.open("a")
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        model: str,
+        config: Sequence[float],
+        predicted: Optional[Sequence[float]] = None,
+        measured: Optional[Sequence[float]] = None,
+        source: str = "serving",
+    ) -> bool:
+        """Offer one observation; returns whether it was kept.
+
+        Sampling happens *before* any conversion work so a sampled-out
+        observation costs one RNG draw and nothing else.  The buffer
+        stores plain tuples; :class:`Observation` objects are only
+        materialized by the read-side accessors, keeping this method
+        cheap enough for the serving hot path.
+        """
+        if self.sampling_rate <= 0.0:
+            with self._lock:
+                self.sampled_out_total += 1
+            return False
+        if self.sampling_rate < 1.0:
+            with self._lock:
+                keep = self._rng.random() < self.sampling_rate
+                if not keep:
+                    self.sampled_out_total += 1
+                    return False
+        config = _vector(config)
+        predicted = _vector(predicted)
+        measured = _vector(measured)
+        with self._lock:
+            self._seq += 1
+            row = (model, config, predicted, measured, source, self._seq)
+            self._buffer.append(row)
+            self.observations_total += 1
+            handle = self._spill_handle
+            if handle is not None:
+                handle.write(_row_to_json(row) + "\n")
+        if self.metrics is not None:
+            self.metrics.record_observation()
+        return True
+
+    def record_batch(
+        self,
+        model: str,
+        configs: np.ndarray,
+        predicted: Optional[np.ndarray] = None,
+        measured: Optional[np.ndarray] = None,
+        source: str = "serving",
+    ) -> int:
+        """Offer one observation per row; returns how many were kept."""
+        kept = 0
+        record = self.record
+        # Rows as plain lists: iterating a 2-D ndarray materializes a view
+        # object per row, which costs more than the whole record() call.
+        config_rows = np.asarray(configs, dtype=float).tolist()
+        predicted_rows = (
+            None if predicted is None
+            else np.asarray(predicted, dtype=float).tolist()
+        )
+        measured_rows = (
+            None if measured is None
+            else np.asarray(measured, dtype=float).tolist()
+        )
+        for i, row in enumerate(config_rows):
+            kept += record(
+                model,
+                row,
+                predicted=None if predicted_rows is None else predicted_rows[i],
+                measured=None if measured_rows is None else measured_rows[i],
+                source=source,
+            )
+        return kept
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def _rows(self, model: Optional[str] = None) -> List[tuple]:
+        """Raw buffer rows (optionally one model's), oldest first."""
+        with self._lock:
+            rows = list(self._buffer)
+        if model is not None:
+            rows = [r for r in rows if r[0] == model]
+        return rows
+
+    def snapshot(self, model: Optional[str] = None) -> List[Observation]:
+        """The resident observations (optionally one model's), oldest first."""
+        return [
+            Observation(
+                model=r[0],
+                config=r[1],
+                predicted=r[2],
+                measured=r[3],
+                source=r[4],
+                seq=r[5],
+            )
+            for r in self._rows(model)
+        ]
+
+    def configs(self, model: str) -> np.ndarray:
+        """``(n, d)`` configuration matrix of one model's observations."""
+        rows = self._rows(model)
+        if not rows:
+            return np.empty((0, 0))
+        return np.array([r[1] for r in rows], dtype=float)
+
+    def paired(self, model: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(configs, predicted, measured)`` from fully-paired observations.
+
+        Only observations carrying *both* a prediction and a measurement
+        contribute — these drive residual drift and shadow evaluation.
+        """
+        rows = [
+            r
+            for r in self._rows(model)
+            if r[2] is not None and r[3] is not None
+        ]
+        if not rows:
+            empty = np.empty((0, 0))
+            return empty, empty, empty
+        return (
+            np.array([r[1] for r in rows], dtype=float),
+            np.array([r[2] for r in rows], dtype=float),
+            np.array([r[3] for r in rows], dtype=float),
+        )
+
+    def training_data(self, model: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x, y)`` from every observation with a measurement.
+
+        This is the retraining sample collection: configuration vectors
+        against ground-truth indicators, prediction or not.
+        """
+        rows = [r for r in self._rows(model) if r[3] is not None]
+        if not rows:
+            return np.empty((0, 0)), np.empty((0, 0))
+        return (
+            np.array([r[1] for r in rows], dtype=float),
+            np.array([r[3] for r in rows], dtype=float),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle / persistence
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop the resident buffer (counters and spill file are kept)."""
+        with self._lock:
+            self._buffer.clear()
+
+    def flush(self) -> None:
+        """Flush the spill file to disk (no-op without a spill path)."""
+        with self._lock:
+            if self._spill_handle is not None:
+                self._spill_handle.flush()
+
+    def close(self) -> None:
+        """Close the spill file; further records stay in memory only."""
+        with self._lock:
+            if self._spill_handle is not None:
+                self._spill_handle.close()
+                self._spill_handle = None
+
+    def __enter__(self) -> "ObservationLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def replay(
+        cls,
+        path: Union[str, Path],
+        capacity: int = 4096,
+        **kwargs,
+    ) -> "ObservationLog":
+        """Rebuild a log from a JSONL spill file (most recent ``capacity``).
+
+        The returned log does *not* keep spilling to ``path`` unless
+        ``spill_path`` is passed explicitly — replaying is a read.
+        """
+        log = cls(capacity=capacity, **kwargs)
+        path = Path(path)
+        if not path.is_file():
+            return log
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                obs = Observation.from_json(line)
+                with log._lock:
+                    log._seq = max(log._seq, obs.seq)
+                    log._buffer.append(
+                        (
+                            obs.model,
+                            obs.config,
+                            obs.predicted,
+                            obs.measured,
+                            obs.source,
+                            obs.seq,
+                        )
+                    )
+                    log.observations_total += 1
+        return log
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ObservationLog(size={len(self)}/{self.capacity}, "
+            f"sampling_rate={self.sampling_rate}, "
+            f"total={self.observations_total})"
+        )
+
+
+def serving_tap(log: ObservationLog):
+    """An :class:`~repro.serving.engine.ServingEngine` observer that records
+    every served prediction into ``log``.
+
+    Wire it at engine construction::
+
+        log = ObservationLog(sampling_rate=0.1)
+        engine = ServingEngine(models_dir, observer=serving_tap(log))
+    """
+
+    def observer(
+        model_name: str,
+        configs: np.ndarray,
+        outputs: np.ndarray,
+        source: str,
+    ) -> None:
+        log.record_batch(
+            model_name, configs, predicted=outputs, source=f"serving:{source}"
+        )
+
+    return observer

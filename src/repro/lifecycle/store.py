@@ -1,0 +1,316 @@
+"""Versioned model storage with atomic promotion into the serving registry.
+
+Artifacts written by :func:`repro.models.persistence.save_model` are
+immutable single JSON files; this store keeps a numbered history of them
+per model name::
+
+    <root>/<name>/v0001.json
+    <root>/<name>/v0002.json
+    <root>/<name>/manifest.json     # history + promoted/previous pointers
+
+*Promotion* copies a stored version over ``<registry_dir>/<name>.json``
+with the same write-temp-then-``os.replace`` discipline as ``save_model``,
+so the mtime-polling :class:`~repro.serving.registry.ModelRegistry` hot
+reload picks the new version up without ever seeing a torn file.  The
+mtime is forced strictly past the previous artifact's, because the
+registry treats an *equal* mtime as "unchanged" and coarse filesystem
+timestamps could otherwise swallow a promotion.  ``rollback()`` is one
+call: promote the remembered previous version back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..models.neural import NeuralWorkloadModel
+from ..models.persistence import load_model, save_model
+
+__all__ = ["VersionedModelStore"]
+
+_MANIFEST = "manifest.json"
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via temp file + ``os.replace``."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class VersionedModelStore:
+    """Numbered artifact history plus promote/rollback into a registry dir.
+
+    Parameters
+    ----------
+    root:
+        Directory the per-model version folders live under (created on
+        demand).
+    retention:
+        How many version files to keep per model.  Older versions are
+        pruned after each save — except the promoted and previous
+        versions, which are always retained so rollback can never be
+        pruned out from under you.
+    """
+
+    def __init__(self, root: Union[str, Path], retention: int = 8):
+        if retention < 2:
+            raise ValueError(
+                f"retention must be >= 2 (promoted + previous), "
+                f"got {retention}"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.retention = int(retention)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # manifest plumbing
+    # ------------------------------------------------------------------
+
+    def _model_dir(self, name: str) -> Path:
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise KeyError(f"invalid model name {name!r}")
+        return self.root / name
+
+    def _manifest_path(self, name: str) -> Path:
+        return self._model_dir(name) / _MANIFEST
+
+    def _read_manifest(self, name: str) -> dict:
+        path = self._manifest_path(name)
+        if not path.is_file():
+            return {"versions": [], "promoted": None, "previous": None}
+        return json.loads(path.read_text())
+
+    def _write_manifest(self, name: str, manifest: dict) -> None:
+        _atomic_write_bytes(
+            self._manifest_path(name), json.dumps(manifest, indent=2).encode()
+        )
+
+    @staticmethod
+    def _version_file(version: int) -> str:
+        return f"v{version:04d}.json"
+
+    def _version_path(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / self._version_file(version)
+
+    # ------------------------------------------------------------------
+    # history
+    # ------------------------------------------------------------------
+
+    def save_version(
+        self,
+        name: str,
+        model: NeuralWorkloadModel,
+        metadata: Optional[dict] = None,
+    ) -> int:
+        """Store ``model`` as the next version of ``name``; returns it."""
+        with self._lock:
+            directory = self._model_dir(name)
+            directory.mkdir(parents=True, exist_ok=True)
+            manifest = self._read_manifest(name)
+            version = 1 + max(
+                (int(v["version"]) for v in manifest["versions"]), default=0
+            )
+            save_model(model, self._version_path(name, version))
+            manifest["versions"].append(
+                {
+                    "version": version,
+                    "file": self._version_file(version),
+                    "metadata": metadata or {},
+                }
+            )
+            self._prune(name, manifest)
+            self._write_manifest(name, manifest)
+            return version
+
+    def adopt(
+        self,
+        name: str,
+        artifact_path: Union[str, Path],
+        metadata: Optional[dict] = None,
+        mark_promoted: bool = True,
+    ) -> int:
+        """Archive an existing deployed artifact as the next version.
+
+        Brings a model that was deployed outside the store (e.g. the
+        original batch-trained artifact the server started from) under
+        version management, so a later promotion has a ``previous`` to
+        roll back to.  With ``mark_promoted`` the manifest records it as
+        the currently-promoted version — the file is already serving, so
+        nothing is copied into the registry.  Returns the version number.
+        """
+        artifact_path = Path(artifact_path)
+        if not artifact_path.is_file():
+            raise KeyError(f"no artifact to adopt at {artifact_path}")
+        payload = artifact_path.read_bytes()
+        with self._lock:
+            directory = self._model_dir(name)
+            directory.mkdir(parents=True, exist_ok=True)
+            manifest = self._read_manifest(name)
+            version = 1 + max(
+                (int(v["version"]) for v in manifest["versions"]), default=0
+            )
+            _atomic_write_bytes(self._version_path(name, version), payload)
+            manifest["versions"].append(
+                {
+                    "version": version,
+                    "file": self._version_file(version),
+                    "metadata": metadata or {"status": "adopted"},
+                }
+            )
+            if mark_promoted:
+                promoted = manifest.get("promoted")
+                if promoted is not None and promoted != version:
+                    manifest["previous"] = promoted
+                manifest["promoted"] = version
+            self._prune(name, manifest)
+            self._write_manifest(name, manifest)
+            return version
+
+    def _prune(self, name: str, manifest: dict) -> None:
+        """Drop version files beyond ``retention`` (caller holds the lock).
+
+        The promoted and previous versions are pinned regardless of age.
+        """
+        pinned = {manifest.get("promoted"), manifest.get("previous")}
+        entries = manifest["versions"]
+        keep = entries[-self.retention:]
+        kept, dropped = [], []
+        for entry in entries:
+            if entry in keep or entry["version"] in pinned:
+                kept.append(entry)
+            else:
+                dropped.append(entry)
+        for entry in dropped:
+            try:
+                os.unlink(self._model_dir(name) / entry["file"])
+            except OSError:
+                pass
+        manifest["versions"] = kept
+
+    def list_versions(self, name: str) -> List[dict]:
+        """History entries (version, file, metadata), oldest first."""
+        with self._lock:
+            return [dict(v) for v in self._read_manifest(name)["versions"]]
+
+    def latest_version(self, name: str) -> Optional[int]:
+        """The highest stored version number, or ``None``."""
+        versions = self.list_versions(name)
+        return int(versions[-1]["version"]) if versions else None
+
+    def promoted_version(self, name: str) -> Optional[int]:
+        """The version currently promoted into the registry, if any."""
+        with self._lock:
+            promoted = self._read_manifest(name).get("promoted")
+            return None if promoted is None else int(promoted)
+
+    def previous_version(self, name: str) -> Optional[int]:
+        """The version a :meth:`rollback` would restore, if any."""
+        with self._lock:
+            previous = self._read_manifest(name).get("previous")
+            return None if previous is None else int(previous)
+
+    def load_version(self, name: str, version: int) -> NeuralWorkloadModel:
+        """Materialize one stored version."""
+        path = self._version_path(name, int(version))
+        if not path.is_file():
+            raise KeyError(f"model {name!r} has no stored version {version}")
+        return load_model(path)
+
+    # ------------------------------------------------------------------
+    # promotion / rollback
+    # ------------------------------------------------------------------
+
+    def promote(
+        self,
+        name: str,
+        version: int,
+        registry_dir: Union[str, Path],
+    ) -> Path:
+        """Atomically deploy ``version`` as ``<registry_dir>/<name>.json``.
+
+        The serving registry's hot-reload path (mtime polling) picks the
+        new artifact up on the next lookup; the target file is never
+        observable in a torn state.  Returns the deployed path.
+        """
+        version = int(version)
+        with self._lock:
+            source = self._version_path(name, version)
+            if not source.is_file():
+                raise KeyError(
+                    f"model {name!r} has no stored version {version}"
+                )
+            manifest = self._read_manifest(name)
+            target = Path(registry_dir) / f"{name}.json"
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._deploy(source, target)
+            promoted = manifest.get("promoted")
+            if promoted is not None and promoted != version:
+                manifest["previous"] = promoted
+            manifest["promoted"] = version
+            self._write_manifest(name, manifest)
+            return target
+
+    def rollback(self, name: str, registry_dir: Union[str, Path]) -> int:
+        """Restore the previously-promoted version; returns it.
+
+        After a rollback the rolled-back version becomes ``previous``, so
+        rolling "forward" again is itself one more :meth:`rollback`.
+        """
+        with self._lock:
+            manifest = self._read_manifest(name)
+            previous = manifest.get("previous")
+            if previous is None:
+                raise RuntimeError(
+                    f"model {name!r} has no previous version to roll back to"
+                )
+            source = self._version_path(name, int(previous))
+            if not source.is_file():
+                raise RuntimeError(
+                    f"previous version {previous} of {name!r} is missing "
+                    "on disk"
+                )
+            target = Path(registry_dir) / f"{name}.json"
+            self._deploy(source, target)
+            manifest["previous"] = manifest.get("promoted")
+            manifest["promoted"] = int(previous)
+            self._write_manifest(name, manifest)
+            return int(previous)
+
+    @staticmethod
+    def _deploy(source: Path, target: Path) -> None:
+        """Copy ``source`` over ``target`` atomically, mtime strictly newer."""
+        try:
+            old_mtime_ns = os.stat(target).st_mtime_ns
+        except OSError:
+            old_mtime_ns = None
+        _atomic_write_bytes(target, source.read_bytes())
+        if old_mtime_ns is not None:
+            stat = os.stat(target)
+            if stat.st_mtime_ns <= old_mtime_ns:
+                os.utime(
+                    target, ns=(stat.st_atime_ns, old_mtime_ns + 1)
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VersionedModelStore({str(self.root)!r}, "
+            f"retention={self.retention})"
+        )

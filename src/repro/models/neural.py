@@ -117,8 +117,22 @@ class NeuralWorkloadModel(WorkloadModel):
         """Whether :meth:`fit` has completed."""
         return bool(self.networks_)
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "NeuralWorkloadModel":
-        """Train on a sample collection (the Section 2.2 procedure)."""
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        warm_start_from: Optional["NeuralWorkloadModel"] = None,
+    ) -> "NeuralWorkloadModel":
+        """Train on a sample collection (the Section 2.2 procedure).
+
+        ``warm_start_from`` seeds every network's weights from an
+        already-fitted model of identical architecture (same ``hidden``,
+        ``joint`` and input/output widths) before descending — the
+        continuous-learning retrain path, where the incumbent model is a
+        far better starting point than a random initialization.  Scalers
+        are still refit on the new sample collection (the Section 3.1
+        statistics must describe the data actually trained on).
+        """
         x, y = self._validate_xy(x, y)
         self._n_inputs = x.shape[1]
         self._n_outputs = y.shape[1]
@@ -141,6 +155,9 @@ class NeuralWorkloadModel(WorkloadModel):
             if self.joint
             else [scaled_y[:, j : j + 1] for j in range(self._n_outputs)]
         )
+        initial_params = self._warm_start_params(
+            warm_start_from, len(targets)
+        )
         for index, target in enumerate(targets):
             seed = None if self.seed is None else self.seed + index
             network = MLP(
@@ -162,7 +179,13 @@ class NeuralWorkloadModel(WorkloadModel):
                 else None
             )
             result = trainer.fit(
-                scaled_x, target, max_epochs=self.max_epochs, stopping=stopping
+                scaled_x,
+                target,
+                max_epochs=self.max_epochs,
+                stopping=stopping,
+                initial_params=(
+                    None if initial_params is None else initial_params[index]
+                ),
             )
             self.networks_.append(network)
             self.training_results_.append(result)
@@ -183,6 +206,32 @@ class NeuralWorkloadModel(WorkloadModel):
         return self.y_scaler_.inverse_transform(scaled_y)
 
     # ------------------------------------------------------------------
+
+    def _warm_start_params(
+        self,
+        source: Optional["NeuralWorkloadModel"],
+        n_networks: int,
+    ) -> Optional[List[np.ndarray]]:
+        """Flat parameter vectors to seed each network with, or ``None``."""
+        if source is None:
+            return None
+        if not source.is_fitted:
+            raise ValueError("warm_start_from model is not fitted")
+        if (
+            tuple(source.hidden) != self.hidden
+            or source.joint != self.joint
+            or len(source.networks_) != n_networks
+            or source._n_inputs != self._n_inputs
+            or source._n_outputs != self._n_outputs
+        ):
+            raise ValueError(
+                "warm_start_from requires an identical architecture: "
+                f"source hidden={source.hidden} joint={source.joint} "
+                f"({source._n_inputs}->{source._n_outputs}) vs "
+                f"hidden={self.hidden} joint={self.joint} "
+                f"({self._n_inputs}->{self._n_outputs})"
+            )
+        return [net.get_flat_params().copy() for net in source.networks_]
 
     def _make_optimizer(self) -> Optimizer:
         """A fresh optimizer instance per network (state is not shared)."""

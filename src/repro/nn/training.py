@@ -251,13 +251,27 @@ class Trainer:
         stopping: Optional[Union[StoppingRule, Sequence[StoppingRule]]] = None,
         validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         callbacks: Optional[Sequence[EpochCallback]] = None,
+        initial_params: Optional[np.ndarray] = None,
     ) -> TrainingResult:
         """Train until a stopping rule fires or ``max_epochs`` elapse.
 
-        Returns a :class:`TrainingResult` naming the rule that ended the run
-        (``"max_epochs"`` when none fired earlier).
+        ``initial_params`` warm-starts the run: the flat parameter vector
+        (e.g. from a previously-trained network's ``get_flat_params()``)
+        is installed before the first epoch, so a retrain on drifted data
+        descends from the incumbent solution instead of a random
+        initialization.  Returns a :class:`TrainingResult` naming the rule
+        that ended the run (``"max_epochs"`` when none fired earlier).
         """
         x, y = self._validate_data(x, y)
+        if initial_params is not None:
+            initial_params = np.asarray(initial_params, dtype=float).ravel()
+            current = self.model.get_flat_params()
+            if initial_params.shape != current.shape:
+                raise ValueError(
+                    f"initial_params has {initial_params.size} values but "
+                    f"the model has {current.size} parameters"
+                )
+            self.model.set_flat_params(initial_params)
         if validation_data is not None:
             x_val, y_val = self._validate_data(*validation_data)
         rules = self._normalize_rules(stopping, max_epochs)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -40,6 +40,9 @@ class PredictionCache:
         self.misses = 0
         self.evictions = 0
         self._data: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        # Per-model key index: invalidating one model after a hot reload
+        # must not scan every resident entry of every other model.
+        self._by_model: Dict[str, Set[Tuple]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -70,22 +73,37 @@ class PredictionCache:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
+            self._by_model.setdefault(key[0], set()).add(key)
             while len(self._data) > self.max_entries:
-                self._data.popitem(last=False)
+                evicted, _ = self._data.popitem(last=False)
                 self.evictions += 1
+                self._unindex(evicted)
+
+    def _unindex(self, key: Tuple) -> None:
+        """Drop ``key`` from the per-model index (caller holds the lock)."""
+        keys = self._by_model.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_model[key[0]]
 
     def invalidate_model(self, model_name: str) -> int:
-        """Drop every entry of one model (call after a hot reload)."""
+        """Drop every entry of one model (call after a hot reload).
+
+        O(entries of that model) via the per-model key index — other
+        models' entries are never touched or scanned.
+        """
         with self._lock:
-            stale = [k for k in self._data if k[0] == model_name]
+            stale = self._by_model.pop(model_name, ())
             for k in stale:
-                del self._data[k]
-        return len(stale)
+                self._data.pop(k, None)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         with self._lock:
             self._data.clear()
+            self._by_model.clear()
 
     # ------------------------------------------------------------------
 

@@ -119,6 +119,14 @@ class ServingEngine:
     faults:
         Optional :class:`~repro.reliability.faults.FaultPlan` handed to
         the registry (when built here) and every micro-batcher.
+    observer:
+        Optional traffic tap called after every successful prediction as
+        ``observer(model_name, configs, outputs, source)`` with the
+        ``(n, 4)`` configuration array and ``(n, 5)`` output array.  The
+        continuous-learning loop (:mod:`repro.lifecycle`) feeds its
+        :class:`~repro.lifecycle.observations.ObservationLog` through
+        this hook; observer exceptions are swallowed so capture can
+        never fail a request.
     """
 
     def __init__(
@@ -139,6 +147,9 @@ class ServingEngine:
         retry_after_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
         faults: Optional["FaultPlan"] = None,
+        observer: Optional[
+            Callable[[str, np.ndarray, np.ndarray, str], None]
+        ] = None,
     ):
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry, faults=faults)
@@ -160,6 +171,7 @@ class ServingEngine:
         self.retry_after_s = float(retry_after_s)
         self.clock = clock
         self.faults = faults
+        self.observer = observer
         self.cache = PredictionCache(cache_size, decimals=cache_decimals)
         self.metrics = ServingMetrics(cache=self.cache)
         self.health_monitor = HealthMonitor()
@@ -238,6 +250,11 @@ class ServingEngine:
                 self._inflight -= 1
         if result.degraded:
             self.metrics.record_degraded()
+        if self.observer is not None:
+            try:
+                self.observer(model_name, x, result.outputs, result.source)
+            except Exception:  # noqa: BLE001 - capture must never fail serving
+                pass
         self.metrics.record_request(x.shape[0], time.perf_counter() - start)
         return result
 

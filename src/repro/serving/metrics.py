@@ -50,6 +50,12 @@ class ServingMetrics:
         self.errors_total = 0
         self.degraded_requests_total = 0
         self.shed_requests_total = 0
+        # Continuous-learning loop (repro.lifecycle) counters.
+        self.observations_total = 0
+        self.retrains_total = 0
+        self.promotions_total = 0
+        self.rollbacks_total = 0
+        self._drift_scores: Dict[str, float] = {}
         self._breaker_states: Dict[str, str] = {}
         self._latencies = deque(maxlen=int(window))
         self._lock = threading.Lock()
@@ -85,6 +91,36 @@ class ServingMetrics:
         """One request refused by load shedding (503 + Retry-After)."""
         with self._lock:
             self.shed_requests_total += 1
+
+    def record_observation(self, n: int = 1) -> None:
+        """``n`` traffic observations captured by the lifecycle tap."""
+        with self._lock:
+            self.observations_total += int(n)
+
+    def record_retrain(self) -> None:
+        """One retraining run launched by the lifecycle orchestrator."""
+        with self._lock:
+            self.retrains_total += 1
+
+    def record_promotion(self) -> None:
+        """One candidate model promoted into the registry directory."""
+        with self._lock:
+            self.promotions_total += 1
+
+    def record_rollback(self) -> None:
+        """One promotion rolled back to the prior version."""
+        with self._lock:
+            self.rollbacks_total += 1
+
+    def set_drift_score(self, model: str, score: float) -> None:
+        """Mirror one model's latest configuration-drift score."""
+        with self._lock:
+            self._drift_scores[model] = float(score)
+
+    def drift_scores(self) -> Dict[str, float]:
+        """Snapshot of the per-model drift-score gauge."""
+        with self._lock:
+            return dict(self._drift_scores)
 
     def set_breaker_state(self, model: str, state: str) -> None:
         """Mirror one model's circuit-breaker state into the gauge."""
@@ -136,6 +172,11 @@ class ServingMetrics:
             "batches_total": self.batches_total,
             "batched_items_total": self.batched_items_total,
             "mean_batch_occupancy": self.mean_batch_occupancy,
+            "observations_total": self.observations_total,
+            "retrains_total": self.retrains_total,
+            "promotions_total": self.promotions_total,
+            "rollbacks_total": self.rollbacks_total,
+            "drift_scores": self.drift_scores(),
             "breaker_states": self.breaker_states(),
             "latency_seconds": self.latency_quantiles(),
         }
@@ -165,6 +206,26 @@ class ServingMetrics:
              "Requests refused by load shedding.", self.shed_requests_total)
         emit("batches_total", "counter", "Micro-batches flushed.",
              self.batches_total)
+        emit("observations_total", "counter",
+             "Traffic observations captured by the lifecycle tap.",
+             self.observations_total)
+        emit("retrains_total", "counter",
+             "Lifecycle retraining runs.", self.retrains_total)
+        emit("promotions_total", "counter",
+             "Candidate models promoted.", self.promotions_total)
+        emit("rollbacks_total", "counter",
+             "Promotions rolled back.", self.rollbacks_total)
+        drift = self.drift_scores()
+        if drift:
+            lines.append(
+                f"# HELP {prefix}_drift_score Latest configuration-drift "
+                "score per model."
+            )
+            lines.append(f"# TYPE {prefix}_drift_score gauge")
+            for model in sorted(drift):
+                lines.append(
+                    f'{prefix}_drift_score{{model="{model}"}} {drift[model]}'
+                )
         emit("batch_occupancy_mean", "gauge",
              "Mean configurations per micro-batch.",
              self.mean_batch_occupancy)

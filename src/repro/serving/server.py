@@ -20,6 +20,9 @@ Endpoints
     (possibly degraded), 503 when it cannot.
 ``GET /metrics``
     Prometheus text exposition (``?format=json`` for the dict form).
+``GET /lifecycle``
+    Continuous-learning status (drift scores, versions, counters) when a
+    :mod:`repro.lifecycle` orchestrator is attached; 404 otherwise.
 
 Callers may send an ``X-Deadline-Ms`` header on ``/predict``; the budget
 is honoured through the engine into the micro-batcher wait.
@@ -136,6 +139,19 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 body = self.server.engine.metrics.to_prometheus().encode()
                 self._send_raw(200, body, "text/plain; version=0.0.4")
+        elif parsed.path == "/lifecycle":
+            lifecycle = self.server.lifecycle
+            if lifecycle is None:
+                self._send_json(
+                    404, {"error": "no lifecycle orchestrator attached"}
+                )
+            else:
+                try:
+                    self._send_json(200, lifecycle.status())
+                except Exception as exc:  # noqa: BLE001 - status must answer
+                    self._send_json(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
         else:
             self._send_json(404, {"error": f"no route {parsed.path!r}"})
 
@@ -262,10 +278,20 @@ class ServingHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, engine: ServingEngine, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        engine: ServingEngine,
+        verbose: bool = False,
+        lifecycle=None,
+    ):
         super().__init__(address, _Handler)
         self.engine = engine
         self.verbose = verbose
+        #: Optional :class:`repro.lifecycle.orchestrator.LifecycleOrchestrator`
+        #: (anything with a JSON-serializable ``status()``) behind
+        #: ``GET /lifecycle``.
+        self.lifecycle = lifecycle
 
     @property
     def url(self) -> str:
@@ -291,11 +317,14 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    lifecycle=None,
 ) -> ServingHTTPServer:
     """Build a server around an engine (or a model-directory path)."""
     if not isinstance(engine, ServingEngine):
         engine = ServingEngine(engine)
-    return ServingHTTPServer((host, port), engine, verbose=verbose)
+    return ServingHTTPServer(
+        (host, port), engine, verbose=verbose, lifecycle=lifecycle
+    )
 
 
 # ----------------------------------------------------------------------
