@@ -29,6 +29,7 @@ setup(
             "repro-characterize=repro.cli:main",
             "repro-serve=repro.cli:serve_main",
             "repro-lifecycle=repro.cli:lifecycle_main",
+            "repro-trace=repro.cli:trace_main",
         ]
     },
 )

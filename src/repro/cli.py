@@ -35,7 +35,13 @@ from .workload.sampler import (
 from .workload.scenarios import available_scenarios, scenario
 from .workload.service import ThreeTierWorkload
 
-__all__ = ["build_parser", "main", "serve_main", "lifecycle_main"]
+__all__ = [
+    "build_parser",
+    "main",
+    "serve_main",
+    "lifecycle_main",
+    "trace_main",
+]
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
@@ -50,6 +56,13 @@ def lifecycle_main(argv: Optional[List[str]] = None) -> int:
     from .lifecycle.cli import main as _lifecycle
 
     return _lifecycle(argv)
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro-trace`` entry point (lazy import, same pattern)."""
+    from .observability.cli import main as _trace
+
+    return _trace(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -41,6 +41,8 @@ import numpy as np
 from ..model_selection.cross_validation import cross_validate
 from ..models.neural import NeuralWorkloadModel
 from ..models.persistence import load_model
+from ..observability.hooks import epoch_span_hook
+from ..observability.trace import NOOP_SPAN, Tracer
 from ..serving.metrics import ServingMetrics
 from ..workload.service import OUTPUT_NAMES
 from .drift import DriftDetector, DriftReport, DriftThresholds, residual_errors
@@ -183,6 +185,13 @@ class LifecycleOrchestrator:
     kfold:
         When > 1, run k-fold cross validation on the training split and
         report the overall error (the Section 4 protocol); 0 skips it.
+    tracer:
+        Optional :class:`~repro.observability.trace.Tracer` — pass the
+        serving engine's so lifecycle cycles land in the same trace
+        store.  A cycle then renders as a ``lifecycle.run_cycle`` span
+        with ``drift_check`` / ``retrain`` (including per-epoch training
+        spans) / ``gate`` / ``promote`` children, which answers *where a
+        ten-second retrain cycle actually went*.
     """
 
     def __init__(
@@ -195,6 +204,7 @@ class LifecycleOrchestrator:
         metrics: Optional[ServingMetrics] = None,
         seed: int = 0,
         kfold: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         self.registry_dir = Path(registry_dir)
         self.store = store
@@ -202,6 +212,7 @@ class LifecycleOrchestrator:
         self.detector = DriftDetector(drift_thresholds)
         self.gate = gate or GateThresholds()
         self.metrics = metrics
+        self.tracer = tracer
         self.seed = int(seed)
         if kfold < 0 or kfold == 1:
             raise ValueError(f"kfold must be 0 or >= 2, got {kfold}")
@@ -213,6 +224,12 @@ class LifecycleOrchestrator:
     # pieces
     # ------------------------------------------------------------------
 
+    def _span(self, name: str, **attributes):
+        """A lifecycle stage span (the no-op span when tracing is off)."""
+        if self.tracer is None:
+            return NOOP_SPAN
+        return self.tracer.start_span(name, attributes=attributes or None)
+
     def deployed_model(self, name: str) -> NeuralWorkloadModel:
         """The artifact currently served for ``name``."""
         path = self.registry_dir / f"{name}.json"
@@ -222,7 +239,13 @@ class LifecycleOrchestrator:
 
     def check_drift(self, name: str) -> DriftReport:
         """Score the log against the deployed model; updates the gauge."""
-        report = self.detector.check(self.log, name, self.deployed_model(name))
+        with self._span("lifecycle.drift_check", model=name) as span:
+            report = self.detector.check(
+                self.log, name, self.deployed_model(name)
+            )
+            span.set_attribute("drifted", bool(report.drifted))
+            if report.config_score is not None:
+                span.set_attribute("config_score", float(report.config_score))
         self.last_drift[name] = report
         if self.metrics is not None and report.config_score is not None:
             self.metrics.set_drift_score(name, report.config_score)
@@ -278,24 +301,39 @@ class LifecycleOrchestrator:
                 "truth driver has not recorded any"
             )
         train_x, train_y, holdout_x, holdout_y = self._split(x, y)
-        incumbent = self.deployed_model(name)
-        candidate = self._clone_untrained(incumbent)
-        cv_error: Optional[float] = None
-        if self.kfold:
-            cv_report = cross_validate(
-                lambda trial: self._clone_untrained(incumbent),
+        with self._span(
+            "lifecycle.retrain",
+            model=name,
+            warm_start=bool(warm_start),
+            n_train=int(train_x.shape[0]),
+        ) as span:
+            incumbent = self.deployed_model(name)
+            candidate = self._clone_untrained(incumbent)
+            cv_error: Optional[float] = None
+            if self.kfold:
+                cv_report = cross_validate(
+                    lambda trial: self._clone_untrained(incumbent),
+                    train_x,
+                    train_y,
+                    k=self.kfold,
+                    seed=self.seed,
+                    output_names=OUTPUT_NAMES,
+                )
+                cv_error = float(cv_report.overall_error)
+            candidate.fit(
                 train_x,
                 train_y,
-                k=self.kfold,
-                seed=self.seed,
-                output_names=OUTPUT_NAMES,
+                warm_start_from=incumbent if warm_start else None,
+                epoch_callback=(
+                    # One span per 10 epochs: enough resolution to see a
+                    # stalled descent without a 1000-epoch run flooding
+                    # the trace buffer's per-trace span bound.
+                    epoch_span_hook(self.tracer, every=10)
+                    if self.tracer is not None
+                    else None
+                ),
             )
-            cv_error = float(cv_report.overall_error)
-        candidate.fit(
-            train_x,
-            train_y,
-            warm_start_from=incumbent if warm_start else None,
-        )
+            span.set_attribute("epochs", int(candidate.total_epochs_))
         if self.metrics is not None:
             self.metrics.record_retrain()
         return candidate, holdout_x, holdout_y, cv_error
@@ -309,6 +347,23 @@ class LifecycleOrchestrator:
         shadow: bool = False,
     ) -> GateReport:
         """Judge a candidate on held-out observations (Table 2 metric)."""
+        with self._span(
+            "lifecycle.gate", model=name, n_holdout=int(holdout_x.shape[0])
+        ) as span:
+            report = self._validate_inner(
+                name, candidate, holdout_x, holdout_y, shadow
+            )
+            span.set_attribute("passed", bool(report.passed))
+        return report
+
+    def _validate_inner(
+        self,
+        name: str,
+        candidate: NeuralWorkloadModel,
+        holdout_x: np.ndarray,
+        holdout_y: np.ndarray,
+        shadow: bool,
+    ) -> GateReport:
         report = GateReport(passed=True, n_holdout=int(holdout_x.shape[0]))
         if holdout_x.shape[0] < 2:
             report.passed = False
@@ -409,14 +464,17 @@ class LifecycleOrchestrator:
 
     def promote(self, name: str, version: int) -> Path:
         """Deploy a stored version into the registry directory."""
-        target = self.store.promote(name, version, self.registry_dir)
+        with self._span("lifecycle.promote", model=name, version=int(version)):
+            target = self.store.promote(name, version, self.registry_dir)
         if self.metrics is not None:
             self.metrics.record_promotion()
         return target
 
     def rollback(self, name: str) -> int:
         """Restore the previously-promoted version; returns it."""
-        version = self.store.rollback(name, self.registry_dir)
+        with self._span("lifecycle.rollback", model=name) as span:
+            version = self.store.rollback(name, self.registry_dir)
+            span.set_attribute("version", int(version))
         if self.metrics is not None:
             self.metrics.record_rollback()
         return version
@@ -441,35 +499,41 @@ class LifecycleOrchestrator:
         promoted; ``promote=False`` archives even an accepted candidate
         without deploying it (promote later by version).
         """
-        drift = self.check_drift(name)
-        report = CycleReport(model=name, drift=drift)
-        if not (drift.drifted or force):
+        with self._span(
+            "lifecycle.run_cycle", model=name, force=bool(force)
+        ) as cycle_span:
+            drift = self.check_drift(name)
+            report = CycleReport(model=name, drift=drift)
+            if not (drift.drifted or force):
+                self.last_cycle[name] = report
+                cycle_span.set_attribute("retrained", False)
+                return report
+            self._adopt_baseline(name)
+            candidate, holdout_x, holdout_y, cv_error = self.retrain(
+                name, warm_start=warm_start
+            )
+            report.retrained = True
+            report.epochs = candidate.total_epochs_
+            report.cv_error = cv_error
+            gate = self.validate(
+                name, candidate, holdout_x, holdout_y, shadow=shadow
+            )
+            report.gate = gate
+            metadata = {
+                "status": "accepted" if gate.passed else "rejected",
+                "gate": gate.to_dict(),
+                "drift": drift.to_dict(),
+                "cv_error": cv_error,
+                "warm_start": bool(warm_start),
+                "seed": self.seed,
+            }
+            report.version = self.store.save_version(name, candidate, metadata)
+            if gate.passed and promote:
+                self.promote(name, report.version)
+                report.promoted = True
             self.last_cycle[name] = report
-            return report
-        self._adopt_baseline(name)
-        candidate, holdout_x, holdout_y, cv_error = self.retrain(
-            name, warm_start=warm_start
-        )
-        report.retrained = True
-        report.epochs = candidate.total_epochs_
-        report.cv_error = cv_error
-        gate = self.validate(
-            name, candidate, holdout_x, holdout_y, shadow=shadow
-        )
-        report.gate = gate
-        metadata = {
-            "status": "accepted" if gate.passed else "rejected",
-            "gate": gate.to_dict(),
-            "drift": drift.to_dict(),
-            "cv_error": cv_error,
-            "warm_start": bool(warm_start),
-            "seed": self.seed,
-        }
-        report.version = self.store.save_version(name, candidate, metadata)
-        if gate.passed and promote:
-            self.promote(name, report.version)
-            report.promoted = True
-        self.last_cycle[name] = report
+            cycle_span.set_attribute("retrained", True)
+            cycle_span.set_attribute("promoted", bool(report.promoted))
         return report
 
     # ------------------------------------------------------------------

@@ -122,6 +122,7 @@ class NeuralWorkloadModel(WorkloadModel):
         x: np.ndarray,
         y: np.ndarray,
         warm_start_from: Optional["NeuralWorkloadModel"] = None,
+        epoch_callback=None,
     ) -> "NeuralWorkloadModel":
         """Train on a sample collection (the Section 2.2 procedure).
 
@@ -132,6 +133,11 @@ class NeuralWorkloadModel(WorkloadModel):
         far better starting point than a random initialization.  Scalers
         are still refit on the new sample collection (the Section 3.1
         statistics must describe the data actually trained on).
+
+        ``epoch_callback`` is an optional ``(epoch, history) -> None``
+        hook invoked after every training epoch of every per-indicator
+        network — the observability layer uses it to emit per-epoch
+        spans (:func:`repro.observability.hooks.epoch_span_hook`).
         """
         x, y = self._validate_xy(x, y)
         self._n_inputs = x.shape[1]
@@ -183,6 +189,9 @@ class NeuralWorkloadModel(WorkloadModel):
                 target,
                 max_epochs=self.max_epochs,
                 stopping=stopping,
+                callbacks=(
+                    [epoch_callback] if epoch_callback is not None else None
+                ),
                 initial_params=(
                     None if initial_params is None else initial_params[index]
                 ),

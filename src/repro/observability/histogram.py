@@ -1,0 +1,155 @@
+"""Fixed-bucket latency histograms (Prometheus ``_bucket`` exposition).
+
+The metrics layer's latency window (`ServingMetrics.latency_quantiles`)
+describes the last N requests exactly but forgets everything older; a
+fixed-bucket histogram is the complement — bounded memory forever, mergeable
+across scrapes, and quantiles derivable server-side *or* by any Prometheus
+backend from the cumulative ``_bucket`` lines.  One
+:class:`LatencyHistogram` per pipeline stage turns the tracing layer's span
+durations into the classic ``p50/p95/p99 by stage`` table.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["LatencyHistogram", "DEFAULT_BUCKETS"]
+
+#: Bucket upper bounds in seconds, spanning one microsecond-scale cache hit
+#: to a multi-second retrain stage; +Inf is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket histogram of durations in seconds.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly-increasing upper bounds (seconds).  An implicit ``+Inf``
+        bucket catches everything beyond the last bound.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("buckets must not be empty")
+        if any(b <= 0 for b in bounds):
+            raise ValueError("bucket bounds must be positive")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be strictly increasing: {bounds}")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        seconds = float(seconds)
+        index = bisect.bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += seconds
+
+    def counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs, +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimated quantile: the upper bound of the bucket holding it.
+
+        Conservative (rounds latency *up* to its bucket edge), which is
+        the standard Prometheus ``histogram_quantile`` behaviour; samples
+        in the +Inf bucket report the last finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self.count
+        if total == 0:
+            return 0.0
+        target = q * total
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            if running >= target:
+                return bound
+        return self.bounds[-1]
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` estimates."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+    @property
+    def mean(self) -> float:
+        """Mean observed duration (0 before any observation)."""
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot: quantile estimates plus totals."""
+        snapshot = self.quantiles()
+        with self._lock:
+            snapshot["count"] = self.count
+            snapshot["sum"] = self.sum
+        return snapshot
+
+    def prometheus_lines(self, name: str, labels: str = "") -> List[str]:
+        """``_bucket``/``_sum``/``_count`` sample lines (no HELP/TYPE).
+
+        ``labels`` is the rendered label set *without* the ``le`` pair,
+        e.g. ``'stage="cache.lookup"'``.
+        """
+        prefix = f"{labels}," if labels else ""
+        lines = []
+        for bound, cumulative in self.cumulative():
+            le = "+Inf" if bound == float("inf") else repr(bound)
+            lines.append(f'{name}_bucket{{{prefix}le="{le}"}} {cumulative}')
+        label_block = f"{{{labels}}}" if labels else ""
+        with self._lock:
+            lines.append(f"{name}_sum{label_block} {self.sum}")
+            lines.append(f"{name}_count{label_block} {self.count}")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean:.6f}s, "
+            f"buckets={len(self.bounds)})"
+        )

@@ -1,0 +1,55 @@
+"""Bridges from existing callback surfaces into the tracing layer.
+
+The training loop already exposes an epoch-end callback
+(:data:`repro.nn.training.EpochCallback`); :func:`epoch_span_hook` turns
+it into per-epoch spans so a lifecycle retrain's time breaks down epoch by
+epoch in the same trace tree as the serving stages around it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .trace import Tracer
+
+__all__ = ["epoch_span_hook"]
+
+
+def epoch_span_hook(
+    tracer: Tracer,
+    name: str = "lifecycle.retrain.epoch",
+    every: int = 1,
+) -> Callable:
+    """An epoch-end callback ``(epoch, history) -> None`` emitting spans.
+
+    Each recorded span covers the wall time since the previous recorded
+    epoch (so with ``every=N`` one span covers N epochs) and carries the
+    epoch index and current training loss.  Spans attach to the active
+    span at call time — under the orchestrator that is the
+    ``lifecycle.retrain`` span — and are dropped silently when the
+    enclosing trace is unsampled.
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    # Hook creation time stands in for the start of epoch 0; create the
+    # hook immediately before calling ``fit``.
+    state = {"last": time.perf_counter()}
+
+    def callback(epoch: int, history) -> None:
+        now = time.perf_counter()
+        last: float = state["last"]
+        if (epoch + 1) % every != 0:
+            return
+        tracer.record_span(
+            name,
+            duration_s=max(0.0, now - last),
+            attributes={
+                "epoch": int(epoch),
+                "train_loss": float(history.final_train_loss),
+                "epochs_covered": every if epoch + 1 > every else epoch + 1,
+            },
+        )
+        state["last"] = now
+
+    return callback

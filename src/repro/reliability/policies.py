@@ -177,21 +177,38 @@ class RetryPolicy:
         deadline: Optional[Deadline] = None,
         retry_on: Optional[RetryFilter] = None,
         on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+        tracer=None,
+        span_name: str = "retry.attempt",
         **kwargs,
     ):
         """Run ``fn`` with retries; returns its result or raises the last error.
 
         A server-suggested ``retry_after`` attribute on the exception raises
         the next sleep (still capped at ``cap``); a ``deadline`` both clamps
-        sleeps and stops retrying once the budget is spent.
+        sleeps and stops retrying once the budget is spent.  With a
+        ``tracer`` (any :class:`~repro.observability.trace.Tracer`-shaped
+        object), every attempt gets its own ``span_name`` span — all under
+        the caller's active span, so one logical request's retries share
+        one trace and failed attempts show up as error spans.
         """
         attempt = 0
         delays = self.delays()
         while True:
             attempt += 1
+            span = (
+                tracer.start_span(span_name, attributes={"attempt": attempt})
+                if tracer is not None
+                else None
+            )
             try:
-                return fn(*args, **kwargs)
+                result = fn(*args, **kwargs)
+                if span is not None:
+                    span.end()
+                return result
             except BaseException as exc:  # noqa: BLE001 - filtered below
+                if span is not None:
+                    span.record_error(exc)
+                    span.end()
                 if not self.should_retry(exc, retry_on):
                     raise
                 try:

@@ -47,12 +47,33 @@ class PredictionFuture:
     resolves a whole batch and notifies once.  ``_done`` is written under
     the condition's lock and read lock-free on the fast path (safe under
     the GIL: it only ever transitions False -> True).
+
+    The future also carries the micro-batching timeline —
+    ``submitted_at`` (stamped at :meth:`MicroBatcher.submit`),
+    ``flush_started_at`` / ``flush_ended_at`` (stamped by the worker
+    around the vectorized predict), and ``batch_size`` — all
+    ``time.perf_counter`` values, so the tracing layer can reconstruct
+    the queue-wait vs flush-execute split that batching otherwise hides.
     """
 
-    __slots__ = ("vector", "_value", "_error", "_done", "_cond")
+    __slots__ = (
+        "vector",
+        "submitted_at",
+        "flush_started_at",
+        "flush_ended_at",
+        "batch_size",
+        "_value",
+        "_error",
+        "_done",
+        "_cond",
+    )
 
     def __init__(self, vector: np.ndarray, cond: threading.Condition):
         self.vector = vector
+        self.submitted_at = time.perf_counter()
+        self.flush_started_at: Optional[float] = None
+        self.flush_ended_at: Optional[float] = None
+        self.batch_size: Optional[int] = None
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
         self._done = False
@@ -235,6 +256,7 @@ class MicroBatcher:
         return False
 
     def _flush(self, batch: List[PredictionFuture]) -> None:
+        flush_started = time.perf_counter()
         try:
             if self.faults is not None:
                 self.faults.fire(SITE_BATCHER_FLUSH)
@@ -246,17 +268,25 @@ class MicroBatcher:
                     f"batch of {len(batch)}"
                 )
         except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            flush_ended = time.perf_counter()
             with self._cond:
                 for future in batch:
+                    future.flush_started_at = flush_started
+                    future.flush_ended_at = flush_ended
+                    future.batch_size = len(batch)
                     future._error = exc
                     future._done = True
                 self._cond.notify_all()
             return
+        flush_ended = time.perf_counter()
         self.batches_run += 1
         self.items_run += len(batch)
         with self._cond:
             # Rows are views into the batch output; nothing mutates it.
             for future, row in zip(batch, outputs):
+                future.flush_started_at = flush_started
+                future.flush_ended_at = flush_ended
+                future.batch_size = len(batch)
                 future._value = row
                 future._done = True
             self._cond.notify_all()

@@ -16,12 +16,14 @@ is a pure function of its body, so retrying the POST is safe.
 from __future__ import annotations
 
 import json
+import uuid
 from typing import Dict, List, Optional, Sequence, Union
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 import numpy as np
 
+from ..observability.trace import NOOP_SPAN, REQUEST_ID_HEADER, Tracer
 from ..reliability.policies import Deadline, RetryPolicy
 from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
 
@@ -35,13 +37,23 @@ class ServingError(Exception):
     """An HTTP-level failure reported by the server."""
 
     def __init__(
-        self, status: int, message: str, retry_after: Optional[float] = None
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        request_id: Optional[str] = None,
     ):
-        super().__init__(f"HTTP {status}: {message}")
+        text = f"HTTP {status}: {message}"
+        if request_id:
+            text += f" (request {request_id})"
+        super().__init__(text)
         self.status = status
         self.message = message
         #: Server-suggested backoff (seconds) from the Retry-After header.
         self.retry_after = retry_after
+        #: The ``X-Request-Id`` of the failed request — quote it when
+        #: filing a report; the server logged the same id.
+        self.request_id = request_id
 
 
 def _is_retryable(exc: BaseException) -> bool:
@@ -67,6 +79,14 @@ class ServingClient:
     send_deadline:
         Attach ``X-Deadline-Ms`` to ``/predict`` calls so the server can
         abandon work the client has already given up on.
+    tracer:
+        Optional :class:`~repro.observability.trace.Tracer`.  Each
+        logical request then opens a ``client.request`` span, each retry
+        attempt a ``client.attempt`` child, and the trace context rides
+        the ``X-Trace-Id`` / ``X-Parent-Span-Id`` headers so the server's
+        spans join the same trace.  Every request also carries a fresh
+        ``X-Request-Id`` (tracer or not), echoed by the server and
+        attached to any raised :class:`ServingError`.
     """
 
     def __init__(
@@ -75,11 +95,13 @@ class ServingClient:
         timeout: float = 10.0,
         retry: Optional[RetryPolicy] = None,
         send_deadline: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
         self.retry = retry
         self.send_deadline = bool(send_deadline)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -197,13 +219,28 @@ class ServingClient:
         headers: Optional[dict] = None,
         deadline: Optional[Deadline] = None,
     ) -> bytes:
+        # One id per *logical* request: every retry attempt resends it, so
+        # the server logs N entries joinable to this one client call.
+        request_id = uuid.uuid4().hex[:16]
+
         def attempt() -> bytes:
             request_headers = dict(headers or {})
+            request_headers[REQUEST_ID_HEADER] = request_id
+            if self.tracer is not None:
+                # The active span here is the per-attempt span (when a
+                # retry policy opened one) or the outer request span.
+                active = self.tracer.current_span()
+                if active is None or not active.trace_id:
+                    active = outer
+                self.tracer.inject_context(active, request_headers)
             timeout = self.timeout
             if deadline is not None:
                 remaining = deadline.remaining()
                 if remaining <= 0:
-                    raise ServingError(504, "client deadline exhausted")
+                    raise ServingError(
+                        504, "client deadline exhausted",
+                        request_id=request_id,
+                    )
                 request_headers["X-Deadline-Ms"] = str(
                     max(1, int(remaining * 1000))
                 )
@@ -230,13 +267,32 @@ class ServingClient:
                         retry_after = float(raw_hint)
                     except ValueError:
                         retry_after = None
-                raise ServingError(exc.code, message, retry_after) from None
+                raise ServingError(
+                    exc.code, message, retry_after, request_id=request_id
+                ) from None
 
-        if self.retry is None:
-            return attempt()
-        return self.retry.call(
-            attempt, deadline=deadline, retry_on=_is_retryable
+        outer = (
+            self.tracer.start_span(
+                "client.request",
+                attributes={
+                    "method": method,
+                    "path": path,
+                    "request_id": request_id,
+                },
+            )
+            if self.tracer is not None
+            else NOOP_SPAN
         )
+        with outer:
+            if self.retry is None:
+                return attempt()
+            return self.retry.call(
+                attempt,
+                deadline=deadline,
+                retry_on=_is_retryable,
+                tracer=self.tracer,
+                span_name="client.attempt",
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ServingClient({self.base_url!r})"

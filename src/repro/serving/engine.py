@@ -38,6 +38,12 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 
 import numpy as np
 
+from ..observability.trace import (
+    NOOP_SPAN,
+    STATUS_ERROR,
+    JsonlSpanExporter,
+    Tracer,
+)
 from ..reliability.degradation import (
     HealthMonitor,
     OverloadedError,
@@ -127,6 +133,17 @@ class ServingEngine:
         :class:`~repro.lifecycle.observations.ObservationLog` through
         this hook; observer exceptions are swallowed so capture can
         never fail a request.
+    tracing / tracer / trace_sample_rate / slow_trace_ms / trace_export:
+        The observability layer.  By default the engine builds its own
+        :class:`~repro.observability.trace.Tracer` (head-sampling at
+        ``trace_sample_rate``, slow-span override at ``slow_trace_ms``,
+        optional JSONL export to ``trace_export``) wired into the
+        metrics' per-stage histograms; pass ``tracer`` to share one
+        across components, or ``tracing=False`` to disable spans
+        entirely.  Every predict emits an ``engine.predict`` span with
+        ``cache.lookup``, ``batcher.queue_wait`` / ``batcher.execute``
+        (or ``model.predict``), ``registry.load`` and
+        ``fallback.surrogate`` children as the request exercises them.
     """
 
     def __init__(
@@ -150,6 +167,11 @@ class ServingEngine:
         observer: Optional[
             Callable[[str, np.ndarray, np.ndarray, str], None]
         ] = None,
+        tracing: bool = True,
+        tracer: Optional[Tracer] = None,
+        trace_sample_rate: float = 1.0,
+        slow_trace_ms: Optional[float] = 500.0,
+        trace_export: Optional[Union[str, Path]] = None,
     ):
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry, faults=faults)
@@ -175,6 +197,27 @@ class ServingEngine:
         self.cache = PredictionCache(cache_size, decimals=cache_decimals)
         self.metrics = ServingMetrics(cache=self.cache)
         self.health_monitor = HealthMonitor()
+        self._exporter: Optional[JsonlSpanExporter] = None
+        if not tracing:
+            self.tracer: Optional[Tracer] = None
+        elif tracer is not None:
+            self.tracer = tracer
+            if self.tracer.on_span_end is None:
+                self.tracer.on_span_end = self.metrics.span_observer()
+        else:
+            if trace_export is not None:
+                self._exporter = JsonlSpanExporter(trace_export)
+            self.tracer = Tracer(
+                sample_rate=trace_sample_rate,
+                slow_threshold_s=(
+                    None if slow_trace_ms is None else slow_trace_ms / 1000.0
+                ),
+                exporter=self._exporter,
+                on_span_end=self.metrics.span_observer(),
+            )
+        # The registry traces its (rare) artifact loads into the same tree.
+        if self.tracer is not None and self.registry.tracer is None:
+            self.registry.tracer = self.tracer
         self._batchers: Dict[str, MicroBatcher] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._surrogates: Dict[str, _Surrogate] = {}
@@ -218,38 +261,50 @@ class ServingEngine:
         the caller's budget lapses mid-request.
         """
         start = time.perf_counter()
-        x = np.asarray(configs, dtype=float)
-        if x.ndim == 1:
-            x = x.reshape(1, -1)
-        if x.ndim != 2 or x.shape[1] != len(INPUT_NAMES):
-            raise ValueError(
-                f"configs must be (n, {len(INPUT_NAMES)}) in "
-                f"{INPUT_NAMES} order, got shape {x.shape}"
-            )
-        if not np.all(np.isfinite(x)):
-            raise ValueError("configs must be finite numbers")
+        span = (
+            self.tracer.start_span("engine.predict")
+            if self.tracer is not None
+            else NOOP_SPAN
+        )
+        with span:
+            x = np.asarray(configs, dtype=float)
+            if x.ndim == 1:
+                x = x.reshape(1, -1)
+            if x.ndim != 2 or x.shape[1] != len(INPUT_NAMES):
+                raise ValueError(
+                    f"configs must be (n, {len(INPUT_NAMES)}) in "
+                    f"{INPUT_NAMES} order, got shape {x.shape}"
+                )
+            if not np.all(np.isfinite(x)):
+                raise ValueError("configs must be finite numbers")
+            if span is not NOOP_SPAN:
+                span.set_attribute("model", model_name)
+                span.set_attribute("n_configs", int(x.shape[0]))
 
-        with self._lock:
-            self._inflight += 1
-            inflight = self._inflight
-        try:
-            if (
-                self.shed_inflight is not None
-                and inflight > self.shed_inflight
-            ):
-                self.metrics.record_shed()
-                raise OverloadedError(retry_after=self.retry_after_s)
-            soft_overloaded = (
-                self.max_inflight is not None and inflight > self.max_inflight
-            )
-            result = self._predict_guarded(
-                model_name, x, deadline, soft_overloaded
-            )
-        finally:
             with self._lock:
-                self._inflight -= 1
-        if result.degraded:
-            self.metrics.record_degraded()
+                self._inflight += 1
+                inflight = self._inflight
+            try:
+                if (
+                    self.shed_inflight is not None
+                    and inflight > self.shed_inflight
+                ):
+                    self.metrics.record_shed()
+                    raise OverloadedError(retry_after=self.retry_after_s)
+                soft_overloaded = (
+                    self.max_inflight is not None
+                    and inflight > self.max_inflight
+                )
+                result = self._predict_guarded(
+                    model_name, x, deadline, soft_overloaded
+                )
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+            if result.degraded:
+                self.metrics.record_degraded()
+            if span is not NOOP_SPAN:
+                span.set_attribute("source", result.source)
         if self.observer is not None:
             try:
                 self.observer(model_name, x, result.outputs, result.source)
@@ -302,7 +357,15 @@ class ServingEngine:
                 return PredictionResult(outputs, degraded=False, source="mlp")
         surrogate = self._surrogates.get(model_name)
         if self.fallback and surrogate is not None:
-            outputs = np.asarray(surrogate.model.predict(x), dtype=float)
+            fallback_span = (
+                self.tracer.start_span(
+                    "fallback.surrogate", attributes={"model": model_name}
+                )
+                if self.tracer is not None
+                else NOOP_SPAN
+            )
+            with fallback_span:
+                outputs = np.asarray(surrogate.model.predict(x), dtype=float)
             return PredictionResult(
                 outputs, degraded=True, source=_SURROGATE_SOURCE
             )
@@ -311,13 +374,24 @@ class ServingEngine:
         if soft_overloaded:
             self.metrics.record_shed()
             raise OverloadedError(retry_after=self.retry_after_s)
-        raise CircuitOpenError(
+        error = CircuitOpenError(
             retry_after=max(breaker.retry_after(), 0.05),
             message=(
                 f"model {model_name!r} is circuit-broken and has no "
                 f"fallback; retry after {breaker.retry_after():.2f}s"
             ),
         )
+        if self.tracer is not None:
+            # A refused call has no duration worth measuring; record the
+            # rejection itself so the trace shows *why* nothing ran.
+            self.tracer.record_span(
+                "breaker.rejected",
+                duration_s=0.0,
+                status=STATUS_ERROR,
+                error=f"CircuitOpenError: {error}",
+                attributes={"model": model_name},
+            )
+        raise error
 
     def _predict_primary(
         self,
@@ -334,13 +408,26 @@ class ServingEngine:
         model = entry.model
         out = np.empty((x.shape[0], len(OUTPUT_NAMES)), dtype=float)
         miss_rows: List[int] = []
-        keys = [self.cache.key(model_name, row) for row in x]
-        for i, key in enumerate(keys):
-            cached = self.cache.get(key)
-            if cached is not None:
-                out[i] = cached
-            else:
-                miss_rows.append(i)
+        # A disabled cache (max_entries=0) always misses; a span around
+        # it would be pure hot-path overhead with no information.
+        cache_span = (
+            self.tracer.start_span("cache.lookup")
+            if self.tracer is not None and self.cache.max_entries > 0
+            else NOOP_SPAN
+        )
+        with cache_span:
+            keys = [self.cache.key(model_name, row) for row in x]
+            for i, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is not None:
+                    out[i] = cached
+                else:
+                    miss_rows.append(i)
+            if cache_span is not NOOP_SPAN:
+                cache_span.set_attribute(
+                    "hits", int(x.shape[0]) - len(miss_rows)
+                )
+                cache_span.set_attribute("misses", len(miss_rows))
 
         if miss_rows:
             # Duplicate configs inside one request (tuning sweeps repeat
@@ -365,12 +452,58 @@ class ServingEngine:
                                 "on the micro-batcher"
                             ) from None
                         raise
+                self._record_batch_spans(futures)
             else:
+                # No separate model.predict span here: on the unbatched
+                # path the forward pass is the tail of engine.predict
+                # (minus cache.lookup), so a child span would only double
+                # the per-request tracing cost for information the parent
+                # already carries.
                 out[lead_rows] = model.predict(x[lead_rows])
             for rows in groups.values():
                 out[rows[1:]] = out[rows[0]]
                 self.cache.put(keys[rows[0]], out[rows[0]])
         return out
+
+    def _record_batch_spans(self, futures) -> None:
+        """Reconstruct the queue-wait / flush-execute split as child spans.
+
+        The batcher worker stamps ``perf_counter`` timestamps on every
+        future it resolves; once the results are in, one
+        ``batcher.queue_wait`` / ``batcher.execute`` span pair is recorded
+        retrospectively per distinct flushed batch (keyed by its flush
+        start, since one request's rows can straddle batches).  This is
+        the split micro-batching otherwise hides: time spent waiting for
+        stragglers vs time inside the vectorized predict.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        parent = tracer.current_span()
+        if parent is None or not parent.sampled:
+            return
+        now_perf = time.perf_counter()
+        now_wall = time.time()
+        seen = set()
+        for future in futures:
+            started = future.flush_started_at
+            ended = future.flush_ended_at
+            if started is None or ended is None or started in seen:
+                continue
+            seen.add(started)
+            tracer.record_span(
+                "batcher.queue_wait",
+                duration_s=max(0.0, started - future.submitted_at),
+                parent=parent,
+                start_time=now_wall - (now_perf - future.submitted_at),
+            )
+            tracer.record_span(
+                "batcher.execute",
+                duration_s=max(0.0, ended - started),
+                parent=parent,
+                start_time=now_wall - (now_perf - started),
+                attributes={"batch_size": future.batch_size},
+            )
 
     # ------------------------------------------------------------------
     # health
@@ -424,12 +557,14 @@ class ServingEngine:
             batcher.close()
 
     def close(self) -> None:
-        """Stop every batcher worker thread."""
+        """Stop every batcher worker thread and flush the trace export."""
         with self._lock:
             batchers, self._batchers = list(self._batchers.values()), {}
             self._closed = True
         for batcher in batchers:
             batcher.close()
+        if self._exporter is not None:
+            self._exporter.close()
 
     def __enter__(self) -> "ServingEngine":
         return self

@@ -4,7 +4,11 @@ Monotonic counters track requests, predictions, batches, errors, and the
 reliability layer's outcomes (degraded answers, shed requests); a
 fixed-size ring buffer of recent request latencies yields p50/p95/p99
 without unbounded memory, and a per-model gauge mirrors each circuit
-breaker's state.  Rendered two ways: a plain ``dict`` (for the
+breaker's state.  On top of the window, per-pipeline-stage fixed-bucket
+:class:`~repro.observability.histogram.LatencyHistogram` instances (fed by
+the tracing layer through :meth:`ServingMetrics.span_observer`) expose
+Prometheus ``_bucket`` lines from which p50/p95/p99 per stage are
+derivable by any backend.  Rendered two ways: a plain ``dict`` (for the
 JSON-minded) and a Prometheus-style text exposition (for scrapers).
 """
 
@@ -12,10 +16,11 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..observability.histogram import LatencyHistogram
 from ..reliability.policies import BREAKER_STATES
 from .cache import PredictionCache
 
@@ -58,6 +63,7 @@ class ServingMetrics:
         self._drift_scores: Dict[str, float] = {}
         self._breaker_states: Dict[str, str] = {}
         self._latencies = deque(maxlen=int(window))
+        self._stage_hist: Dict[str, LatencyHistogram] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -122,6 +128,50 @@ class ServingMetrics:
         with self._lock:
             return dict(self._drift_scores)
 
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one duration into ``stage``'s fixed-bucket histogram."""
+        with self._lock:
+            hist = self._stage_hist.get(stage)
+            if hist is None:
+                hist = self._stage_hist[stage] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def span_observer(self) -> Callable[[dict], None]:
+        """An ``on_span_end`` hook feeding span durations into histograms.
+
+        Wire it into a :class:`~repro.observability.trace.Tracer` and every
+        recorded span becomes a sample in the histogram named after its
+        stage (the span name) — the bridge between tracing and metrics.
+        """
+
+        cache: Dict[str, LatencyHistogram] = {}
+
+        def observe(span: dict) -> None:
+            duration = span.get("duration_s")
+            if duration is None:
+                return
+            name = span["name"]
+            # Per-observer histogram cache: after the first span of each
+            # stage, the hot path skips the registry lock entirely.
+            hist = cache.get(name)
+            if hist is None:
+                with self._lock:
+                    hist = self._stage_hist.get(name)
+                    if hist is None:
+                        hist = self._stage_hist[name] = LatencyHistogram()
+                cache[name] = hist
+            hist.observe(duration)
+
+        return observe
+
+    def stage_latencies(self) -> Dict[str, dict]:
+        """Per-stage quantile estimates: ``{stage: {p50, p95, p99, ...}}``."""
+        with self._lock:
+            histograms = dict(self._stage_hist)
+        return {
+            stage: hist.to_dict() for stage, hist in sorted(histograms.items())
+        }
+
     def set_breaker_state(self, model: str, state: str) -> None:
         """Mirror one model's circuit-breaker state into the gauge."""
         if state not in BREAKER_STATES:
@@ -179,6 +229,7 @@ class ServingMetrics:
             "drift_scores": self.drift_scores(),
             "breaker_states": self.breaker_states(),
             "latency_seconds": self.latency_quantiles(),
+            "stage_latency_seconds": self.stage_latencies(),
         }
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats()
@@ -262,4 +313,16 @@ class ServingMetrics:
             lines.append(
                 f'{prefix}_request_latency_seconds{{quantile="{q}"}} {value}'
             )
+        with self._lock:
+            histograms = sorted(self._stage_hist.items())
+        if histograms:
+            metric = f"{prefix}_stage_latency_seconds"
+            lines.append(
+                f"# HELP {metric} Pipeline-stage latency from traced spans."
+            )
+            lines.append(f"# TYPE {metric} histogram")
+            for stage, hist in histograms:
+                lines.extend(
+                    hist.prometheus_lines(metric, f'stage="{stage}"')
+                )
         return "\n".join(lines) + "\n"

@@ -23,6 +23,7 @@ from ..models.persistence import load_model_document, model_from_dict
 from ..reliability.faults import SITE_REGISTRY_LOAD, SITE_REGISTRY_STAT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.trace import Tracer
     from ..reliability.faults import FaultPlan
 
 __all__ = ["RegistryEntry", "ModelRegistry"]
@@ -61,6 +62,11 @@ class ModelRegistry:
         the ``registry.stat`` site (before the artifact ``stat``; file
         faults like ``corrupt_artifact``/``clock_skew`` land here) and the
         ``registry.load`` site (before parsing).
+    tracer:
+        Optional :class:`~repro.observability.trace.Tracer`; every
+        artifact parse (first load and hot reload alike) then shows up as
+        a ``registry.load`` span in the requesting trace — the stall a
+        request pays when it lands right after a hot deploy.
     """
 
     def __init__(
@@ -68,12 +74,14 @@ class ModelRegistry:
         directory: Union[str, Path],
         check_mtime: bool = True,
         faults: Optional["FaultPlan"] = None,
+        tracer: Optional["Tracer"] = None,
     ):
         self.directory = Path(directory)
         if not self.directory.is_dir():
             raise ValueError(f"model directory {self.directory} does not exist")
         self.check_mtime = bool(check_mtime)
         self.faults = faults
+        self.tracer = tracer
         self._entries: Dict[str, RegistryEntry] = {}
         self._lock = threading.Lock()
 
@@ -161,6 +169,18 @@ class ModelRegistry:
     # ------------------------------------------------------------------
 
     def _load(self, name: str, path: Path, mtime_ns: int) -> RegistryEntry:
+        if self.tracer is None:
+            return self._load_inner(name, path, mtime_ns)
+        with self.tracer.start_span(
+            "registry.load", attributes={"model": name}
+        ) as span:
+            entry = self._load_inner(name, path, mtime_ns)
+            span.set_attribute("format_version", entry.format_version)
+        return entry
+
+    def _load_inner(
+        self, name: str, path: Path, mtime_ns: int
+    ) -> RegistryEntry:
         if self.faults is not None:
             self.faults.fire(SITE_REGISTRY_LOAD, path=path)
         payload = load_model_document(path)

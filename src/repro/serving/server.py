@@ -23,9 +23,17 @@ Endpoints
 ``GET /lifecycle``
     Continuous-learning status (drift scores, versions, counters) when a
     :mod:`repro.lifecycle` orchestrator is attached; 404 otherwise.
+``GET /traces``
+    Recent traces from the engine tracer's in-memory buffer, newest
+    first: ``?limit=``, ``?min_duration_ms=``, ``?status=error``, and
+    ``?slow=1`` (the slow-span log) filter; 404 when tracing is off.
 
 Callers may send an ``X-Deadline-Ms`` header on ``/predict``; the budget
-is honoured through the engine into the micro-batcher wait.
+is honoured through the engine into the micro-batcher wait.  Trace
+context propagates via ``X-Trace-Id`` / ``X-Parent-Span-Id`` request
+headers; every response — success, error, or degraded — carries an
+``X-Request-Id`` (echoed from the request or generated) and, when the
+request was traced, its ``X-Trace-Id``.
 
 The server is a ``ThreadingHTTPServer``: each connection gets a thread, and
 concurrent ``/predict`` requests coalesce in the engine's micro-batchers.
@@ -38,10 +46,16 @@ import json
 import math
 import sys
 import threading
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple, Union
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
+from ..observability.trace import (
+    NOOP_SPAN,
+    REQUEST_ID_HEADER,
+    TRACE_ID_HEADER,
+)
 from ..reliability.degradation import UNHEALTHY, OverloadedError
 from ..reliability.policies import CircuitOpenError, Deadline, DeadlineExceeded
 from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
@@ -114,7 +128,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
+    def _begin_request(self) -> None:
+        """Per-request bookkeeping (handlers persist across keep-alive).
+
+        Every response carries an ``X-Request-Id`` — echoed when the
+        caller sent one, generated otherwise — so a client error report
+        and a server log line can always be joined.
+        """
+        self._request_id = (
+            self.headers.get(REQUEST_ID_HEADER) or uuid.uuid4().hex[:16]
+        )
+        self._trace_id: Optional[str] = None
+
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._begin_request()
         parsed = urlparse(self.path)
         if parsed.path == "/healthz":
             health = self.server.engine.health()
@@ -137,8 +164,16 @@ class _Handler(BaseHTTPRequestHandler):
             if "format=json" in (parsed.query or ""):
                 self._send_json(200, self.server.engine.metrics.to_dict())
             else:
-                body = self.server.engine.metrics.to_prometheus().encode()
-                self._send_raw(200, body, "text/plain; version=0.0.4")
+                text = self.server.engine.metrics.to_prometheus()
+                if not text.endswith("\n"):
+                    text += "\n"
+                self._send_raw(
+                    200,
+                    text.encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+        elif parsed.path == "/traces":
+            self._get_traces(parsed.query or "")
         elif parsed.path == "/lifecycle":
             lifecycle = self.server.lifecycle
             if lifecycle is None:
@@ -155,18 +190,80 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no route {parsed.path!r}"})
 
+    def _get_traces(self, query: str) -> None:
+        """``GET /traces``: the tracer's in-memory buffer, filtered."""
+        tracer = self.server.engine.tracer
+        if tracer is None:
+            self._send_json(404, {"error": "tracing is disabled"})
+            return
+        params = parse_qs(query)
+        try:
+            limit = int(params["limit"][0]) if "limit" in params else 50
+            min_duration_s = (
+                float(params["min_duration_ms"][0]) / 1000.0
+                if "min_duration_ms" in params
+                else None
+            )
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad query parameter: {exc}"})
+            return
+        status = params["status"][0] if "status" in params else None
+        payload = {
+            "sample_rate": tracer.sample_rate,
+            "spans_recorded": tracer.spans_recorded,
+            "dropped_spans": tracer.buffer.dropped_spans,
+            "evicted_traces": tracer.buffer.evicted_traces,
+        }
+        if params.get("slow", ["0"])[0] not in ("0", "", "false"):
+            payload["slow_spans"] = tracer.slow_spans()[-limit:]
+        else:
+            payload["traces"] = tracer.buffer.traces(
+                limit=limit, min_duration_s=min_duration_s, status=status
+            )
+        self._send_json(200, payload)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._begin_request()
         if urlparse(self.path).path != "/predict":
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
         engine = self.server.engine
+        tracer = engine.tracer
+        if tracer is not None:
+            span = tracer.start_span(
+                "http.request",
+                context=tracer.extract_context(self.headers),
+                attributes={
+                    "method": "POST",
+                    "path": "/predict",
+                    "request_id": self._request_id,
+                },
+            )
+            if span.trace_id:
+                self._trace_id = span.trace_id
+        else:
+            span = NOOP_SPAN
+        with span:
+            self._handle_predict(engine, tracer, span)
+
+    def _handle_predict(self, engine, tracer, span) -> None:
         try:
-            payload = self._read_json()
-            model_name = payload.get("model")
-            if not isinstance(model_name, str) or not model_name:
-                raise _RequestError(400, "model: expected a non-empty string")
-            vectors, single = _parse_configs(payload)
-            deadline = self._read_deadline()
+            parse_span = (
+                tracer.start_span("request.parse")
+                if tracer is not None
+                else NOOP_SPAN
+            )
+            with parse_span:
+                payload = self._read_json()
+                model_name = payload.get("model")
+                if not isinstance(model_name, str) or not model_name:
+                    raise _RequestError(
+                        400, "model: expected a non-empty string"
+                    )
+                vectors, single = _parse_configs(payload)
+                deadline = self._read_deadline()
+                if parse_span is not NOOP_SPAN:
+                    parse_span.set_attribute("n_configs", len(vectors))
             try:
                 result = engine.predict_detailed(
                     model_name, vectors, deadline=deadline
@@ -179,11 +276,13 @@ class _Handler(BaseHTTPRequestHandler):
                 ) from None
         except _RequestError as exc:
             engine.metrics.record_error()
+            span.record_error(exc).set_attribute("http_status", exc.status)
             self._send_json(exc.status, {"error": str(exc)})
             return
         except (OverloadedError, CircuitOpenError) as exc:
             engine.metrics.record_error()
             retry_after = max(1, int(math.ceil(exc.retry_after)))
+            span.record_error(exc).set_attribute("http_status", 503)
             self._send_json(
                 503,
                 {"error": str(exc), "retry_after": retry_after},
@@ -192,12 +291,17 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except DeadlineExceeded as exc:
             engine.metrics.record_error()
+            span.record_error(exc).set_attribute("http_status", 504)
             self._send_json(504, {"error": str(exc)})
             return
         except Exception as exc:  # noqa: BLE001 - model/artifact failures
             engine.metrics.record_error()
+            span.record_error(exc).set_attribute("http_status", 500)
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
             return
+        span.set_attribute("http_status", 200)
+        if result.degraded:
+            span.set_attribute("degraded", True)
         predictions = [
             {name: float(row[j]) for j, name in enumerate(OUTPUT_NAMES)}
             for row in result.outputs
@@ -263,6 +367,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id is None:
+            request_id = uuid.uuid4().hex[:16]
+        self.send_header(REQUEST_ID_HEADER, request_id)
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_ID_HEADER, trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -385,6 +496,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the degraded-mode linear surrogate",
     )
     parser.add_argument(
+        "--trace-sample-rate", type=float, default=1.0,
+        help="fraction of traces recorded (deterministic head sampling)",
+    )
+    parser.add_argument(
+        "--slow-trace-ms", type=float, default=500.0,
+        help="spans at least this slow are always recorded and flagged "
+             "(0 disables the override)",
+    )
+    parser.add_argument(
+        "--trace-export",
+        help="append finished spans to this JSONL file (repro-trace input)",
+    )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable request tracing entirely",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
     return parser
@@ -404,6 +532,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_inflight=args.max_inflight or None,
             shed_inflight=args.shed_inflight or None,
             breaker_reset_timeout=args.breaker_reset_timeout,
+            tracing=not args.no_tracing,
+            trace_sample_rate=args.trace_sample_rate,
+            slow_trace_ms=args.slow_trace_ms or None,
+            trace_export=args.trace_export,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -412,7 +544,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     models = engine.list_models()
     print(f"Serving {len(models)} model(s) {models} at {server.url}")
-    print("POST /predict | GET /models | GET /healthz | GET /metrics")
+    print(
+        "POST /predict | GET /models | GET /healthz | GET /metrics "
+        "| GET /traces"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
