@@ -13,6 +13,8 @@ Subcommands::
     repro-lifecycle promote     # deploy a stored version into the registry
     repro-lifecycle rollback    # restore the previously-promoted version
     repro-lifecycle status      # loop state as JSON
+    repro-lifecycle verify      # audit stored versions against checksums
+    repro-lifecycle recover     # repair manifests/artifacts/journal tail
 
 ``record`` uses the fast closed-form
 :class:`~repro.workload.analytic.AnalyticWorkloadModel` as the measurement
@@ -153,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("status", help="print loop state as JSON")
     common(p, store=True, log=True)
+
+    p = sub.add_parser(
+        "verify",
+        help="audit every stored version's bytes against its recorded sha256",
+    )
+    common(p, store=True)
+
+    p = sub.add_parser(
+        "recover",
+        help="startup recovery offline: repair manifests, quarantine corrupt "
+             "artifacts, redeploy the last verified-good version, repair the "
+             "journal tail",
+    )
+    common(p, store=True)
+    p.add_argument(
+        "--journal-dir",
+        help="observation journal directory to repair and account",
+    )
     return parser
 
 
@@ -293,6 +313,35 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    store = VersionedModelStore(args.store_dir)
+    reports = store.verify_all(args.model)
+    bad = [r for r in reports if r["verdict"] in ("mismatch", "missing")]
+    _emit(
+        {
+            "command": "verify",
+            "model": args.model,
+            "versions": reports,
+            "ok": not bad,
+        }
+    )
+    return 1 if bad else 0
+
+
+def _cmd_recover(args) -> int:
+    from ..durability.recovery import RecoveryManager
+
+    manager = RecoveryManager(
+        store=VersionedModelStore(args.store_dir),
+        registry_dir=args.models_dir,
+        journal_dir=args.journal_dir,
+        marker=Path(args.models_dir),
+    )
+    report = manager.run()
+    _emit({"command": "recover", **report.to_dict()})
+    return 0
+
+
 _COMMANDS = {
     "record": _cmd_record,
     "check-drift": _cmd_check_drift,
@@ -300,6 +349,8 @@ _COMMANDS = {
     "promote": _cmd_promote,
     "rollback": _cmd_rollback,
     "status": _cmd_status,
+    "verify": _cmd_verify,
+    "recover": _cmd_recover,
 }
 
 

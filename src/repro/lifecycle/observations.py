@@ -32,7 +32,10 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..durability.journal import Journal, replay_journal
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultPlan
     from ..serving.engine import ServingEngine
     from ..serving.metrics import ServingMetrics
 
@@ -102,6 +105,11 @@ def _vector(values: Optional[Sequence[float]]) -> Optional[Tuple[float, ...]]:
     return tuple(map(float, values))
 
 
+#: Group-commit threshold: journal batches flush once the pending lines
+#: reach this many bytes (or on any flush/sync/close).
+_GROUP_COMMIT_BYTES = 4096
+
+
 def _row_to_json(row: tuple) -> str:
     """One JSONL spill line from a raw buffer row (same shape as
     :meth:`Observation.to_json`, without building the dataclass)."""
@@ -136,9 +144,28 @@ class ObservationLog:
         When given, every *accepted* observation is also appended to this
         JSONL file, so capture survives a restart of the serving process
         (:meth:`replay` reloads it).
+    journal_dir:
+        When given, accepted observations are instead appended to a
+        CRC32-framed :class:`~repro.durability.journal.Journal` in this
+        directory — the crash-safe spill.  A torn tail from a killed
+        process is detected and truncated on replay instead of
+        poisoning it (:meth:`replay_journal` reloads it).  Under
+        ``"buffered"`` sync, lines are *group-committed*: coalesced into
+        one framed record every ~4 KiB (and at every flush/sync/close),
+        amortizing the framing cost; the loss bound stays "the unsynced
+        tail".  Mutually exclusive with ``spill_path``.
+    journal_sync:
+        Journal durability mode: ``"buffered"`` (default), ``"flush"``,
+        or ``"fsync"``.
+    journal_segment_bytes:
+        Journal segment rotation threshold.
+    faults:
+        Optional fault plan handed to the journal (``journal.append`` /
+        ``journal.compact`` sites).
     metrics:
         Optional :class:`~repro.serving.metrics.ServingMetrics` whose
-        ``observations_total`` counter mirrors accepted records.
+        ``observations_total`` counter mirrors accepted records (and
+        whose ``journal_records_*`` counters mirror replay accounting).
     """
 
     def __init__(
@@ -147,6 +174,10 @@ class ObservationLog:
         sampling_rate: float = 1.0,
         seed: int = 0,
         spill_path: Optional[Union[str, Path]] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        journal_sync: str = "buffered",
+        journal_segment_bytes: int = 4 << 20,
+        faults: Optional["FaultPlan"] = None,
         metrics: Optional["ServingMetrics"] = None,
     ):
         if capacity < 1:
@@ -155,21 +186,46 @@ class ObservationLog:
             raise ValueError(
                 f"sampling_rate must be in [0, 1], got {sampling_rate}"
             )
+        if spill_path is not None and journal_dir is not None:
+            raise ValueError(
+                "spill_path and journal_dir are mutually exclusive"
+            )
         self.capacity = int(capacity)
         self.sampling_rate = float(sampling_rate)
         self.spill_path = None if spill_path is None else Path(spill_path)
+        self.journal_dir = None if journal_dir is None else Path(journal_dir)
         self.metrics = metrics
         self.observations_total = 0
         self.sampled_out_total = 0
+        self.journal_records_recovered = 0
+        self.journal_records_dropped = 0
         # Raw rows: (model, config, predicted, measured, source, seq).
         self._buffer: "deque[tuple]" = deque(maxlen=self.capacity)
         self._rng = np.random.default_rng(seed)
         self._seq = 0
         self._lock = threading.Lock()
         self._spill_handle = None
+        self._journal: Optional[Journal] = None
+        # Group commit: in buffered mode accepted lines coalesce here and
+        # go to the journal as one newline-joined framed record, so the
+        # crc/frame/write cost amortizes across ~a dozen observations.
+        self._journal_batch: list = []
+        self._journal_batch_bytes = 0
         if self.spill_path is not None:
             self.spill_path.parent.mkdir(parents=True, exist_ok=True)
             self._spill_handle = self.spill_path.open("a")
+        if self.journal_dir is not None:
+            self._journal = Journal(
+                self.journal_dir,
+                max_segment_bytes=journal_segment_bytes,
+                sync=journal_sync,
+                faults=faults,
+            )
+
+    @property
+    def journal(self) -> Optional[Journal]:
+        """The backing write-ahead journal, when one is configured."""
+        return self._journal
 
     # ------------------------------------------------------------------
     # recording
@@ -212,6 +268,24 @@ class ObservationLog:
             handle = self._spill_handle
             if handle is not None:
                 handle.write(_row_to_json(row) + "\n")
+            elif self._journal is not None:
+                line = _row_to_json(row)
+                if self._journal.write_through:
+                    # Per-record sync or armed faults: no coalescing —
+                    # each record carries its own durability obligation.
+                    self._drain_journal_batch()
+                    self._journal.append(line.encode("utf-8"))
+                else:
+                    batch = self._journal_batch
+                    batch.append(line)
+                    total = self._journal_batch_bytes + len(line) + 1
+                    if total >= _GROUP_COMMIT_BYTES:
+                        self._journal.append(
+                            "\n".join(batch).encode("utf-8")
+                        )
+                        batch.clear()
+                        total = 0
+                    self._journal_batch_bytes = total
         if self.metrics is not None:
             self.metrics.record_observation()
         return True
@@ -328,18 +402,43 @@ class ObservationLog:
         with self._lock:
             self._buffer.clear()
 
+    def _drain_journal_batch(self) -> None:
+        """Frame and append the pending group-commit lines (lock held)."""
+        if self._journal_batch:
+            self._journal.append(
+                "\n".join(self._journal_batch).encode("utf-8")
+            )
+            self._journal_batch.clear()
+            self._journal_batch_bytes = 0
+
     def flush(self) -> None:
-        """Flush the spill file to disk (no-op without a spill path)."""
+        """Flush the spill file / journal to the OS (no-op without one)."""
         with self._lock:
             if self._spill_handle is not None:
                 self._spill_handle.flush()
+            if self._journal is not None:
+                self._drain_journal_batch()
+                self._journal.flush()
+
+    def sync_to_disk(self) -> None:
+        """Flush *and* fsync the journal — the graceful-drain guarantee."""
+        with self._lock:
+            if self._spill_handle is not None:
+                self._spill_handle.flush()
+            if self._journal is not None:
+                self._drain_journal_batch()
+                self._journal.sync_to_disk()
 
     def close(self) -> None:
-        """Close the spill file; further records stay in memory only."""
+        """Close the spill file/journal; further records stay in memory."""
         with self._lock:
             if self._spill_handle is not None:
                 self._spill_handle.close()
                 self._spill_handle = None
+            if self._journal is not None:
+                self._drain_journal_batch()
+                self._journal.close()
+                self._journal = None
 
     def __enter__(self) -> "ObservationLog":
         return self
@@ -356,6 +455,11 @@ class ObservationLog:
     ) -> "ObservationLog":
         """Rebuild a log from a JSONL spill file (most recent ``capacity``).
 
+        Malformed lines — a torn tail, a partial flush — are *skipped*
+        and counted in ``journal_records_dropped`` (mirrored to the
+        metrics ``journal_records_dropped_total`` counter) instead of
+        aborting the replay: losing one record must not cost the rest.
+
         The returned log does *not* keep spilling to ``path`` unless
         ``spill_path`` is passed explicitly — replaying is a read.
         """
@@ -363,26 +467,90 @@ class ObservationLog:
         path = Path(path)
         if not path.is_file():
             return log
-        with path.open() as handle:
+        with path.open(errors="replace") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
-                obs = Observation.from_json(line)
-                with log._lock:
-                    log._seq = max(log._seq, obs.seq)
-                    log._buffer.append(
-                        (
-                            obs.model,
-                            obs.config,
-                            obs.predicted,
-                            obs.measured,
-                            obs.source,
-                            obs.seq,
-                        )
-                    )
-                    log.observations_total += 1
+                try:
+                    obs = Observation.from_json(line)
+                except (ValueError, KeyError, TypeError):
+                    log._count_replay_dropped(1)
+                    continue
+                log._ingest(obs)
+        if log.metrics is not None and log.journal_records_recovered:
+            log.metrics.record_journal_recovered(log.journal_records_recovered)
         return log
+
+    @classmethod
+    def replay_journal(
+        cls,
+        journal_dir: Union[str, Path],
+        capacity: int = 4096,
+        resume: bool = True,
+        repair: bool = True,
+        **kwargs,
+    ) -> "ObservationLog":
+        """Rebuild a log from a CRC32-framed journal directory.
+
+        Each segment is replayed up to its first bad frame (``repair``
+        truncates the torn tail on disk so appends continue cleanly);
+        recovered/dropped counts land in ``journal_records_recovered`` /
+        ``journal_records_dropped`` and the metrics mirrors.  With
+        ``resume`` (the default) the returned log keeps journaling to
+        the same directory — this is the crash-restart path.
+        """
+        recovery = replay_journal(journal_dir, repair=repair)
+        log = cls(
+            capacity=capacity,
+            journal_dir=journal_dir if resume else None,
+            **kwargs,
+        )
+        for payload in recovery.records:
+            try:
+                text = payload.decode("utf-8")
+            except UnicodeDecodeError:
+                log._count_replay_dropped(1)
+                continue
+            # A payload is one observation line, or — group commit — a
+            # newline-joined batch of them; each line stands alone.
+            for line in text.splitlines():
+                if not line:
+                    continue
+                try:
+                    obs = Observation.from_json(line)
+                except (ValueError, KeyError, TypeError):
+                    log._count_replay_dropped(1)
+                    continue
+                log._ingest(obs)
+        if recovery.dropped:
+            log._count_replay_dropped(recovery.dropped)
+        if log.metrics is not None and log.journal_records_recovered:
+            log.metrics.record_journal_recovered(log.journal_records_recovered)
+        return log
+
+    def _ingest(self, obs: Observation) -> None:
+        """Append one replayed observation (counts it as recovered)."""
+        with self._lock:
+            self._seq = max(self._seq, obs.seq)
+            self._buffer.append(
+                (
+                    obs.model,
+                    obs.config,
+                    obs.predicted,
+                    obs.measured,
+                    obs.source,
+                    obs.seq,
+                )
+            )
+            self.observations_total += 1
+            self.journal_records_recovered += 1
+
+    def _count_replay_dropped(self, count: int) -> None:
+        with self._lock:
+            self.journal_records_dropped += count
+        if self.metrics is not None:
+            self.metrics.record_journal_dropped(count)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -16,6 +16,14 @@ mtime is forced strictly past the previous artifact's, because the
 registry treats an *equal* mtime as "unchanged" and coarse filesystem
 timestamps could otherwise swallow a promotion.  ``rollback()`` is one
 call: promote the remembered previous version back.
+
+Every version file and every deployed artifact carries a sha256 recorded
+both in a ``.sha256`` sidecar and in the manifest entry, so corruption is
+detectable instead of silent.  :meth:`verify_all` audits a model's
+history, :meth:`repair_manifest` rebuilds a torn manifest from the
+surviving (verified) version files, and :meth:`redeploy_verified`
+restores the newest checksum-valid version into the registry — the
+primitive the serving layer's auto-rollback is built on.
 """
 
 from __future__ import annotations
@@ -25,10 +33,21 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
+from ..durability.integrity import (
+    quarantine_file,
+    read_checksum,
+    sha256_bytes,
+    verify_file,
+    write_checksum,
+)
 from ..models.neural import NeuralWorkloadModel
 from ..models.persistence import load_model, save_model
+from ..reliability.faults import SITE_STORE_PROMOTE, SITE_STORE_SAVE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultPlan
 
 __all__ = ["VersionedModelStore"]
 
@@ -67,9 +86,20 @@ class VersionedModelStore:
         pruned after each save — except the promoted and previous
         versions, which are always retained so rollback can never be
         pruned out from under you.
+    faults:
+        Optional :class:`~repro.reliability.faults.FaultPlan` consulted
+        at ``store.save`` (after the version file lands, before the
+        manifest write) and ``store.promote`` (after the registry
+        deploy, before the manifest write) — the two windows a crash
+        leaves manifest and disk disagreeing.
     """
 
-    def __init__(self, root: Union[str, Path], retention: int = 8):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        retention: int = 8,
+        faults: Optional["FaultPlan"] = None,
+    ):
         if retention < 2:
             raise ValueError(
                 f"retention must be >= 2 (promoted + previous), "
@@ -78,6 +108,7 @@ class VersionedModelStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.retention = int(retention)
+        self.faults = faults
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -128,11 +159,16 @@ class VersionedModelStore:
             version = 1 + max(
                 (int(v["version"]) for v in manifest["versions"]), default=0
             )
-            save_model(model, self._version_path(name, version))
+            path = self._version_path(name, version)
+            save_model(model, path)
+            digest = read_checksum(path) or write_checksum(path)
+            if self.faults is not None:
+                self.faults.fire(SITE_STORE_SAVE, path=path)
             manifest["versions"].append(
                 {
                     "version": version,
                     "file": self._version_file(version),
+                    "sha256": digest,
                     "metadata": metadata or {},
                 }
             )
@@ -167,11 +203,14 @@ class VersionedModelStore:
             version = 1 + max(
                 (int(v["version"]) for v in manifest["versions"]), default=0
             )
-            _atomic_write_bytes(self._version_path(name, version), payload)
+            path = self._version_path(name, version)
+            _atomic_write_bytes(path, payload)
+            digest = write_checksum(path, sha256_bytes(payload))
             manifest["versions"].append(
                 {
                     "version": version,
                     "file": self._version_file(version),
+                    "sha256": digest,
                     "metadata": metadata or {"status": "adopted"},
                 }
             )
@@ -199,10 +238,12 @@ class VersionedModelStore:
             else:
                 dropped.append(entry)
         for entry in dropped:
-            try:
-                os.unlink(self._model_dir(name) / entry["file"])
-            except OSError:
-                pass
+            victim = self._model_dir(name) / entry["file"]
+            for path in (victim, victim.with_name(victim.name + ".sha256")):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
         manifest["versions"] = kept
 
     def list_versions(self, name: str) -> List[dict]:
@@ -248,7 +289,10 @@ class VersionedModelStore:
 
         The serving registry's hot-reload path (mtime polling) picks the
         new artifact up on the next lookup; the target file is never
-        observable in a torn state.  Returns the deployed path.
+        observable in a torn state.  The source version's bytes are
+        verified against its recorded sha256 first — a store never
+        promotes an artifact it can prove is corrupt.  Returns the
+        deployed path.
         """
         version = int(version)
         with self._lock:
@@ -258,9 +302,18 @@ class VersionedModelStore:
                     f"model {name!r} has no stored version {version}"
                 )
             manifest = self._read_manifest(name)
+            expected = self._manifest_digest(manifest, version)
+            verdict, actual, recorded = verify_file(source, expected=expected)
+            if verdict is False:
+                raise ValueError(
+                    f"refusing to promote {name!r} v{version}: sha256 "
+                    f"{actual[:12]}… != recorded {str(recorded)[:12]}…"
+                )
             target = Path(registry_dir) / f"{name}.json"
             target.parent.mkdir(parents=True, exist_ok=True)
             self._deploy(source, target)
+            if self.faults is not None:
+                self.faults.fire(SITE_STORE_PROMOTE, path=target)
             promoted = manifest.get("promoted")
             if promoted is not None and promoted != version:
                 manifest["previous"] = promoted
@@ -296,18 +349,241 @@ class VersionedModelStore:
 
     @staticmethod
     def _deploy(source: Path, target: Path) -> None:
-        """Copy ``source`` over ``target`` atomically, mtime strictly newer."""
+        """Copy ``source`` over ``target`` atomically, mtime strictly newer.
+
+        The deployed artifact gets its own ``.sha256`` sidecar (written
+        after the artifact replace; readers tolerate the in-between
+        instant by re-reading) so the serving registry can verify what
+        it hot-reloads.
+        """
         try:
             old_mtime_ns = os.stat(target).st_mtime_ns
         except OSError:
             old_mtime_ns = None
-        _atomic_write_bytes(target, source.read_bytes())
+        payload = source.read_bytes()
+        _atomic_write_bytes(target, payload)
         if old_mtime_ns is not None:
             stat = os.stat(target)
             if stat.st_mtime_ns <= old_mtime_ns:
                 os.utime(
                     target, ns=(stat.st_atime_ns, old_mtime_ns + 1)
                 )
+        write_checksum(target, sha256_bytes(payload))
+
+    # ------------------------------------------------------------------
+    # integrity / recovery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _manifest_digest(manifest: dict, version: int) -> Optional[str]:
+        """The sha256 the manifest records for ``version`` (or ``None``)."""
+        for entry in manifest.get("versions", ()):
+            if int(entry.get("version", -1)) == version:
+                digest = entry.get("sha256")
+                return str(digest).lower() if digest else None
+        return None
+
+    def verify_version(self, name: str, version: int) -> dict:
+        """Audit one stored version against its recorded sha256.
+
+        Returns ``{"version", "file", "verdict", "sha256"}`` with verdict
+        ``"ok"`` (bytes match), ``"mismatch"``, ``"unverified"`` (no
+        digest recorded anywhere — a pre-durability artifact), or
+        ``"missing"`` (version file gone).
+        """
+        version = int(version)
+        with self._lock:
+            manifest = self._read_manifest(name)
+            expected = self._manifest_digest(manifest, version)
+        path = self._version_path(name, version)
+        if not path.is_file():
+            return {
+                "version": version,
+                "file": self._version_file(version),
+                "verdict": "missing",
+                "sha256": expected,
+            }
+        verdict, actual, _ = verify_file(path, expected=expected)
+        label = (
+            "unverified" if verdict is None else "ok" if verdict else "mismatch"
+        )
+        return {
+            "version": version,
+            "file": self._version_file(version),
+            "verdict": label,
+            "sha256": actual,
+        }
+
+    def verify_all(self, name: str) -> List[dict]:
+        """Audit every manifest-listed version of ``name``, oldest first."""
+        with self._lock:
+            versions = [
+                int(v["version"])
+                for v in self._read_manifest(name)["versions"]
+            ]
+        return [self.verify_version(name, v) for v in versions]
+
+    def repair_manifest(self, name: str) -> dict:
+        """Rebuild ``name``'s manifest from the surviving version files.
+
+        The startup-recovery primitive: a crash between writing a
+        version/artifact file and the manifest (the ``store.save`` /
+        ``store.promote`` windows), or a torn manifest write itself,
+        leaves the two out of sync.  This method makes the on-disk files
+        authoritative:
+
+        * an unparseable manifest is discarded and rebuilt from scratch;
+        * version files failing their sidecar digest are quarantined;
+        * surviving files missing from the manifest are re-added with
+          ``status: "recovered"``; entries whose file is gone are dropped;
+        * every kept entry gets its ``sha256`` backfilled (writing the
+          sidecar if it was missing);
+        * promoted/previous pointers landing on dropped versions are
+          moved to the newest surviving version (or cleared).
+
+        Returns a report dict (``repaired`` flags whether anything
+        changed).
+        """
+        with self._lock:
+            directory = self._model_dir(name)
+            report = {
+                "model": name,
+                "repaired": False,
+                "manifest_rebuilt": False,
+                "quarantined": [],
+                "recovered": [],
+                "dropped": [],
+                "promoted": None,
+                "previous": None,
+            }
+            if not directory.is_dir():
+                return report
+            try:
+                manifest = self._read_manifest(name)
+                entries = {
+                    int(v["version"]): dict(v) for v in manifest["versions"]
+                }
+            except (ValueError, KeyError, TypeError, OSError):
+                manifest = {"versions": [], "promoted": None, "previous": None}
+                entries = {}
+                report["manifest_rebuilt"] = True
+                report["repaired"] = True
+
+            # On-disk version files, verified against their sidecars.
+            survivors = {}
+            for path in sorted(directory.glob("v*.json")):
+                stem = path.stem
+                try:
+                    version = int(stem[1:])
+                except ValueError:
+                    continue
+                verdict, actual, _ = verify_file(path)
+                if verdict is False:
+                    moved = quarantine_file(path)
+                    report["quarantined"].append(
+                        {"version": version, "moved_to": str(moved)}
+                    )
+                    report["repaired"] = True
+                    continue
+                survivors[version] = actual
+                if verdict is None:
+                    # No sidecar — backfill one so the file is verifiable
+                    # from now on.
+                    write_checksum(path, actual)
+
+            # Reconcile manifest entries with the survivors.
+            rebuilt = []
+            for version in sorted(set(entries) | set(survivors)):
+                if version not in survivors:
+                    report["dropped"].append(version)
+                    report["repaired"] = True
+                    continue
+                entry = entries.get(version)
+                if entry is None:
+                    entry = {
+                        "version": version,
+                        "file": self._version_file(version),
+                        "metadata": {"status": "recovered"},
+                    }
+                    report["recovered"].append(version)
+                    report["repaired"] = True
+                if entry.get("sha256") != survivors[version]:
+                    entry["sha256"] = survivors[version]
+                    report["repaired"] = True
+                rebuilt.append(entry)
+            manifest["versions"] = rebuilt
+
+            # Pointers must land on surviving versions.
+            newest = max(survivors) if survivors else None
+            for pointer in ("promoted", "previous"):
+                value = manifest.get(pointer)
+                if value is not None and int(value) not in survivors:
+                    fallback = newest if pointer == "promoted" else None
+                    if fallback == manifest.get("promoted"):
+                        fallback = None
+                    manifest[pointer] = fallback
+                    report["repaired"] = True
+            if manifest.get("promoted") is None and newest is not None:
+                manifest["promoted"] = newest
+                report["repaired"] = True
+            if manifest.get("previous") == manifest.get("promoted"):
+                manifest["previous"] = None
+            report["promoted"] = manifest.get("promoted")
+            report["previous"] = manifest.get("previous")
+            self._write_manifest(name, manifest)
+            return report
+
+    def redeploy_verified(
+        self, name: str, registry_dir: Union[str, Path]
+    ) -> Optional[int]:
+        """Deploy the best verified-good version of ``name``; returns it.
+
+        Candidates are tried promoted → previous → remaining versions
+        newest-first; the first whose bytes match their recorded digest
+        *and* parse as JSON wins.  The manifest's promoted/previous
+        pointers are updated to match what was actually deployed.
+        Returns ``None`` when no version survives verification — the
+        caller is out of good artifacts.
+        """
+        with self._lock:
+            manifest = self._read_manifest(name)
+            versions = sorted(
+                (int(v["version"]) for v in manifest["versions"]),
+                reverse=True,
+            )
+            ordered = []
+            for candidate in (
+                manifest.get("promoted"),
+                manifest.get("previous"),
+                *versions,
+            ):
+                if candidate is None:
+                    continue
+                candidate = int(candidate)
+                if candidate not in ordered:
+                    ordered.append(candidate)
+            for candidate in ordered:
+                source = self._version_path(name, candidate)
+                if not source.is_file():
+                    continue
+                expected = self._manifest_digest(manifest, candidate)
+                verdict, _, _ = verify_file(source, expected=expected)
+                if verdict is False:
+                    continue
+                try:
+                    json.loads(source.read_text())
+                except (ValueError, OSError):
+                    continue
+                target = Path(registry_dir) / f"{name}.json"
+                target.parent.mkdir(parents=True, exist_ok=True)
+                self._deploy(source, target)
+                promoted = manifest.get("promoted")
+                if promoted is not None and int(promoted) != candidate:
+                    manifest["previous"] = int(promoted)
+                manifest["promoted"] = candidate
+                self._write_manifest(name, manifest)
+                return candidate
+            return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

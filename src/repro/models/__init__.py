@@ -15,6 +15,7 @@ from .neural import NeuralWorkloadModel
 from .persistence import (
     load_model,
     load_model_document,
+    model_document_from_bytes,
     model_from_dict,
     model_to_dict,
     save_model,
@@ -37,6 +38,7 @@ __all__ = [
     "save_model",
     "load_model",
     "load_model_document",
+    "model_document_from_bytes",
     "model_to_dict",
     "model_from_dict",
     "RBFWorkloadModel",

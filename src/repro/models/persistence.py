@@ -18,6 +18,7 @@ from typing import Union
 
 import numpy as np
 
+from ..durability.integrity import sha256_bytes, write_checksum
 from ..nn.serialization import from_dict as network_from_dict
 from ..nn.serialization import to_dict as network_to_dict
 from ..preprocessing.scalers import IdentityScaler, Scaler, StandardScaler
@@ -30,6 +31,7 @@ __all__ = [
     "save_model",
     "load_model",
     "load_model_document",
+    "model_document_from_bytes",
 ]
 
 MODEL_FORMAT_VERSION = 1
@@ -132,15 +134,21 @@ def save_model(
     reader — in particular the mtime-polling
     :class:`~repro.serving.registry.ModelRegistry` — sees either the old
     artifact or the complete new one, never a truncated JSON file.
+
+    The document's sha256 is recorded in a ``<path>.sha256`` sidecar
+    (written *after* the replace), giving downstream verifiers —
+    :func:`repro.durability.integrity.verify_file`, the store manifest,
+    the registry's :class:`~repro.durability.integrity.IntegrityGuard` —
+    a recorded identity to check the bytes against.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(model_to_dict(model))
+    payload = json.dumps(model_to_dict(model)).encode("utf-8")
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as handle:
+        with os.fdopen(fd, "wb") as handle:
             handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
@@ -151,7 +159,33 @@ def save_model(
         except OSError:
             pass
         raise
+    write_checksum(path, sha256_bytes(payload))
     return path
+
+
+def model_document_from_bytes(
+    data: bytes, path: Union[str, Path] = "<bytes>"
+) -> dict:
+    """Parse already-read artifact bytes into the raw document ``dict``.
+
+    The single-read half of :func:`load_model_document`: callers that
+    already hold the file's bytes (the registry reads once to both
+    verify the sha256 and parse) skip a second disk read.  ``path`` only
+    names the source in error messages.
+    """
+    try:
+        payload = json.loads(data)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(
+            f"model file {path} is not valid JSON (truncated or corrupt): "
+            f"{exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"model file {path} holds a JSON {type(payload).__name__}, "
+            "expected an object"
+        )
+    return payload
 
 
 def load_model_document(path: Union[str, Path]) -> dict:
@@ -165,22 +199,10 @@ def load_model_document(path: Union[str, Path]) -> dict:
     """
     path = Path(path)
     try:
-        text = path.read_text()
+        data = path.read_bytes()
     except OSError as exc:
         raise ValueError(f"cannot read model file {path}: {exc}") from exc
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ValueError(
-            f"model file {path} is not valid JSON (truncated or corrupt): "
-            f"{exc}"
-        ) from exc
-    if not isinstance(payload, dict):
-        raise ValueError(
-            f"model file {path} holds a JSON {type(payload).__name__}, "
-            "expected an object"
-        )
-    return payload
+    return model_document_from_bytes(data, path)
 
 
 def load_model(path: Union[str, Path]) -> NeuralWorkloadModel:

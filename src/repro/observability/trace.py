@@ -395,6 +395,17 @@ class JsonlSpanExporter:
             self._file.write(line + "\n")
             self._file.flush()
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS (the graceful-drain hook).
+
+        ``write`` already flushes per line; this exists so drain
+        sequences can treat every sink uniformly, and is safe after
+        :meth:`close`.
+        """
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+
     def close(self) -> None:
         with self._lock:
             if not self._closed:

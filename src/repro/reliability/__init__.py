@@ -23,11 +23,16 @@ from .degradation import (
 from .faults import (
     SITE_BATCHER_FLUSH,
     SITE_DRIVER_INJECT,
+    SITE_JOURNAL_APPEND,
+    SITE_JOURNAL_COMPACT,
     SITE_REGISTRY_LOAD,
     SITE_REGISTRY_STAT,
+    SITE_STORE_PROMOTE,
+    SITE_STORE_SAVE,
     FaultPlan,
     FaultRule,
     InjectedFault,
+    SimulatedCrash,
 )
 from .policies import (
     BREAKER_STATES,
@@ -62,8 +67,13 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "SimulatedCrash",
     "SITE_REGISTRY_STAT",
     "SITE_REGISTRY_LOAD",
     "SITE_BATCHER_FLUSH",
     "SITE_DRIVER_INJECT",
+    "SITE_STORE_SAVE",
+    "SITE_STORE_PROMOTE",
+    "SITE_JOURNAL_APPEND",
+    "SITE_JOURNAL_COMPACT",
 ]

@@ -16,6 +16,15 @@ site                      fired by
                           before the vectorized ``predict``
 ``driver.inject``         :class:`LoadDriver <repro.workload.driver.LoadDriver>`
                           per spawned transaction (via ``fault_hook``)
+``store.save``            :meth:`VersionedModelStore.save_version <repro.lifecycle.store.VersionedModelStore.save_version>`
+                          after the version file lands, before the manifest
+``store.promote``         :meth:`VersionedModelStore.promote <repro.lifecycle.store.VersionedModelStore.promote>`
+                          after the registry deploy, before the manifest
+``journal.append``        :meth:`Journal.append <repro.durability.journal.Journal.append>`
+                          after each framed record write
+``journal.compact``       :meth:`Journal.compact <repro.durability.journal.Journal.compact>`
+                          after the merged segment is written, before the
+                          old segments are removed
 ========================  ====================================================
 
 A :class:`FaultPlan` maps sites to :class:`FaultRule`\\ s.  Rules fire by
@@ -36,10 +45,23 @@ Fault kinds
 ``clock_skew``
     Shift the file's mtime by ``skew_s`` without touching its bytes,
     confusing mtime-based hot-reload logic.
+``partial_write``
+    Chop the tail off the file passed as site context — a torn write: the
+    bytes an OS-level crash left half-flushed at the end of a journal
+    segment or a freshly deployed artifact.
+``disk_full``
+    Raise ``OSError(ENOSPC)`` at the site — the filesystem ran out of
+    space mid-operation.
+``crash_at``
+    Raise :class:`SimulatedCrash` — a ``BaseException`` no component is
+    allowed to swallow, so whatever on-disk state exists at that instant
+    is exactly what a killed process would leave behind.  The chaos
+    harness catches it at the top and "restarts" by running recovery.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import threading
@@ -53,8 +75,13 @@ __all__ = [
     "SITE_REGISTRY_LOAD",
     "SITE_BATCHER_FLUSH",
     "SITE_DRIVER_INJECT",
+    "SITE_STORE_SAVE",
+    "SITE_STORE_PROMOTE",
+    "SITE_JOURNAL_APPEND",
+    "SITE_JOURNAL_COMPACT",
     "FAULT_KINDS",
     "InjectedFault",
+    "SimulatedCrash",
     "FaultRule",
     "FaultPlan",
 ]
@@ -63,8 +90,20 @@ SITE_REGISTRY_STAT = "registry.stat"
 SITE_REGISTRY_LOAD = "registry.load"
 SITE_BATCHER_FLUSH = "batcher.flush"
 SITE_DRIVER_INJECT = "driver.inject"
+SITE_STORE_SAVE = "store.save"
+SITE_STORE_PROMOTE = "store.promote"
+SITE_JOURNAL_APPEND = "journal.append"
+SITE_JOURNAL_COMPACT = "journal.compact"
 
-FAULT_KINDS = ("latency", "error", "corrupt_artifact", "clock_skew")
+FAULT_KINDS = (
+    "latency",
+    "error",
+    "corrupt_artifact",
+    "clock_skew",
+    "partial_write",
+    "disk_full",
+    "crash_at",
+)
 
 
 class InjectedFault(RuntimeError):
@@ -73,6 +112,20 @@ class InjectedFault(RuntimeError):
     def __init__(self, site: str, message: Optional[str] = None):
         self.site = site
         super().__init__(message or f"injected fault at {site}")
+
+
+class SimulatedCrash(BaseException):
+    """A process kill simulated at an injection site.
+
+    Deliberately *not* an :class:`Exception`: every ``except Exception``
+    recovery path in the stack lets it through, so the on-disk state the
+    chaos harness recovers from is the state an actual ``kill -9`` at
+    that point would have left.  Only the harness itself catches it.
+    """
+
+    def __init__(self, site: str, message: Optional[str] = None):
+        self.site = site
+        super().__init__(message or f"simulated crash at {site}")
 
 
 @dataclass
@@ -183,7 +236,7 @@ class FaultPlan:
                     continue
                 rule.fired += 1
                 due.append(rule)
-        error: Optional[InjectedFault] = None
+        error: Optional[BaseException] = None
         for rule in due:
             if rule.kind == "latency":
                 self._sleep(rule.latency_s)
@@ -191,6 +244,17 @@ class FaultPlan:
                 _corrupt_file(path, site)
             elif rule.kind == "clock_skew":
                 _skew_mtime(path, rule.skew_s, site)
+            elif rule.kind == "partial_write":
+                _tear_tail(path, site)
+            elif rule.kind == "disk_full":
+                error = OSError(
+                    errno.ENOSPC,
+                    rule.message or f"injected disk full at {site}",
+                    None if path is None else str(path),
+                )
+            elif rule.kind == "crash_at":
+                # A crash preempts everything else scheduled at this hit.
+                raise SimulatedCrash(site, rule.message or None)
             elif rule.kind == "error":
                 error = InjectedFault(site, rule.message or None)
         if error is not None:
@@ -222,6 +286,26 @@ def _corrupt_file(path: Optional[Union[str, Path]], site: str) -> None:
     except OSError:
         text = ""
     target.write_text(text[: len(text) // 2] if len(text) >= 2 else "{")
+    _bump_mtime(target, 1_000_000_000)
+
+
+def _tear_tail(path: Optional[Union[str, Path]], site: str) -> None:
+    """Chop a few dozen bytes off the end of ``path`` — a torn OS write.
+
+    Small enough to land inside the last framed journal record (or the
+    closing brace of a JSON artifact), so recovery sees exactly the
+    half-flushed tail a power cut leaves behind.
+    """
+    target = _require_path(path, site)
+    try:
+        size = os.stat(target).st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    keep = max(0, size - max(1, min(48, size // 4)))
+    with open(target, "rb+") as handle:
+        handle.truncate(keep)
     _bump_mtime(target, 1_000_000_000)
 
 

@@ -141,6 +141,7 @@ class MicroBatcher:
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._cond = threading.Condition()
         self._closed = False
+        self._drain = False
         self._worker = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
         )
@@ -156,9 +157,12 @@ class MicroBatcher:
             np.asarray(vector, dtype=float).ravel(), self._cond
         )
         self._queue.put(future)
-        if self._closed:
-            # close() raced us: its drain may already have run, so make
-            # sure this future cannot be left waiting behind the sentinel.
+        if self._closed and not self._drain:
+            # close() raced us: its fail-pending pass may already have
+            # run, so make sure this future cannot be left waiting behind
+            # the sentinel.  (In drain mode the worker — and close()'s
+            # post-join drain pass — will complete raced submissions
+            # instead.)
             self._fail_pending()
         return future
 
@@ -173,20 +177,32 @@ class MicroBatcher:
         """Average occupancy of the batches flushed so far."""
         return self.items_run / self.batches_run if self.batches_run else 0.0
 
-    def close(self, timeout: float = 5.0) -> None:
-        """Stop the worker and *fail* still-queued queries immediately.
+    def close(self, timeout: float = 5.0, drain: bool = False) -> None:
+        """Stop the worker; queued queries are failed or drained.
 
-        The in-flight batch (already handed to ``predict_fn``) completes
-        normally; everything still waiting in the queue gets a
-        :class:`BatcherClosedError` instead of blocking its caller until a
-        ``result(timeout)`` lapses — a dead batcher must never strand its
-        clients.
+        With ``drain=False`` (the default, the fail-fast path) everything
+        still waiting in the queue gets a :class:`BatcherClosedError`
+        instead of blocking its caller until a ``result(timeout)`` lapses
+        — a dead batcher must never strand its clients.  The in-flight
+        batch (already handed to ``predict_fn``) completes normally
+        either way.
+
+        With ``drain=True`` (graceful shutdown) every *already-queued*
+        query is completed through ``predict_fn`` before the worker
+        exits; only submissions arriving after the worker has left — or
+        queries stranded by a worker wedged past ``timeout`` — are
+        failed.  New ``submit()`` calls raise immediately in both modes.
         """
         if self._closed:
             return
+        self._drain = bool(drain)
         self._closed = True
         self._queue.put(_SHUTDOWN)
         self._worker.join(timeout)
+        if self._drain and not self._worker.is_alive():
+            # The worker drained up to its sentinel and exited cleanly;
+            # complete any submissions that raced past the closed check.
+            self._drain_remaining()
         # Backstop: if the worker is wedged in predict_fn (or already
         # gone), drain from this thread so no caller stays blocked.
         self._fail_pending()
@@ -203,14 +219,37 @@ class MicroBatcher:
         while True:
             head = self._queue.get()
             if head is _SHUTDOWN:
-                self._fail_pending()
+                self._finish()
                 return
             batch = [head]
             stop = self._gather(batch)
             self._flush(batch)
             if stop:
-                self._fail_pending()
+                self._finish()
                 return
+
+    def _finish(self) -> None:
+        """Worker shutdown: drain or fail whatever is still queued."""
+        if self._drain:
+            self._drain_remaining()
+        else:
+            self._fail_pending()
+
+    def _drain_remaining(self) -> None:
+        """Flush everything still queued in ``max_batch_size`` batches."""
+        while True:
+            batch: List[PredictionFuture] = []
+            while len(batch) < self.max_batch_size:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    continue
+                batch.append(item)
+            if not batch:
+                return
+            self._flush(batch)
 
     def _fail_pending(self) -> None:
         """Fail everything still queued with :class:`BatcherClosedError`."""

@@ -63,6 +63,7 @@ from .metrics import ServingMetrics
 from .registry import ModelRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..durability.integrity import IntegrityGuard
     from ..models.linear import LinearWorkloadModel
     from ..reliability.faults import FaultPlan
 
@@ -144,6 +145,12 @@ class ServingEngine:
         ``cache.lookup``, ``batcher.queue_wait`` / ``batcher.execute``
         (or ``model.predict``), ``registry.load`` and
         ``fallback.surrogate`` children as the request exercises them.
+    integrity:
+        Optional :class:`~repro.durability.integrity.IntegrityGuard`
+        attached to the registry: artifacts are sha256-verified on every
+        (re)load, corrupt ones quarantined and — when the guard has a
+        rollback hook — transparently replaced by the last verified-good
+        stored version.  The guard's metrics default to this engine's.
     """
 
     def __init__(
@@ -172,9 +179,12 @@ class ServingEngine:
         trace_sample_rate: float = 1.0,
         slow_trace_ms: Optional[float] = 500.0,
         trace_export: Optional[Union[str, Path]] = None,
+        integrity: Optional["IntegrityGuard"] = None,
     ):
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry, faults=faults)
+        if integrity is not None:
+            registry.integrity = integrity
         self.registry = registry
         self.batching = bool(batching)
         self.max_batch_size = int(max_batch_size)
@@ -196,6 +206,8 @@ class ServingEngine:
         self.observer = observer
         self.cache = PredictionCache(cache_size, decimals=cache_decimals)
         self.metrics = ServingMetrics(cache=self.cache)
+        if integrity is not None and integrity.metrics is None:
+            integrity.metrics = self.metrics
         self.health_monitor = HealthMonitor()
         self._exporter: Optional[JsonlSpanExporter] = None
         if not tracing:
@@ -225,6 +237,7 @@ class ServingEngine:
         self._inflight = 0
         self._lock = threading.Lock()
         self._closed = False
+        self._draining = False
 
     # ------------------------------------------------------------------
 
@@ -282,6 +295,14 @@ class ServingEngine:
                 span.set_attribute("n_configs", int(x.shape[0]))
 
             with self._lock:
+                if self._draining:
+                    # Admission is closed: the caller should retry against
+                    # another replica (503 + Retry-After at the HTTP layer).
+                    self.metrics.record_shed()
+                    raise OverloadedError(
+                        retry_after=self.retry_after_s,
+                        message="serving engine is draining",
+                    )
                 self._inflight += 1
                 inflight = self._inflight
             try:
@@ -541,6 +562,7 @@ class ServingEngine:
             "breakers": breakers,
             "fallbacks": sorted(self._surrogates),
             "inflight": inflight,
+            "draining": self._draining,
         }
 
     # ------------------------------------------------------------------
@@ -555,6 +577,40 @@ class ServingEngine:
             batcher = self._batchers.pop(model_name, None)
         if batcher is not None:
             batcher.close()
+
+    @property
+    def draining(self) -> bool:
+        """Whether admission is closed (``/readyz`` answers not-ready)."""
+        with self._lock:
+            return self._draining
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: refuse new work, finish everything queued.
+
+        Flips the engine into draining mode (new :meth:`predict` calls
+        shed with 503 + Retry-After and ``/readyz`` reports not-ready),
+        waits for the in-flight requests that already passed admission,
+        completes every future already queued on the micro-batchers
+        (``close(drain=True)``), and flushes the trace exporter.  The
+        engine refuses new work afterwards; call it once, from the
+        SIGTERM / ``/admin/drain`` path.  Idempotent.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            batchers, self._batchers = list(self._batchers.values()), {}
+            self._closed = True
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.005)
+        for batcher in batchers:
+            batcher.close(timeout=timeout, drain=True)
+        if self._exporter is not None:
+            self._exporter.close()
 
     def close(self) -> None:
         """Stop every batcher worker thread and flush the trace export."""

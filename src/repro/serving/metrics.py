@@ -60,6 +60,13 @@ class ServingMetrics:
         self.retrains_total = 0
         self.promotions_total = 0
         self.rollbacks_total = 0
+        # Durability (repro.durability) counters.
+        self.artifact_verify_failures_total = 0
+        self.artifacts_quarantined_total = 0
+        self.auto_rollbacks_total = 0
+        self.journal_records_recovered_total = 0
+        self.journal_records_dropped_total = 0
+        self.recoveries_total = 0
         self._drift_scores: Dict[str, float] = {}
         self._breaker_states: Dict[str, str] = {}
         self._latencies = deque(maxlen=int(window))
@@ -117,6 +124,36 @@ class ServingMetrics:
         """One promotion rolled back to the prior version."""
         with self._lock:
             self.rollbacks_total += 1
+
+    def record_verify_failure(self) -> None:
+        """One artifact whose bytes failed sha256 verification."""
+        with self._lock:
+            self.artifact_verify_failures_total += 1
+
+    def record_quarantine(self) -> None:
+        """One corrupt artifact moved into quarantine."""
+        with self._lock:
+            self.artifacts_quarantined_total += 1
+
+    def record_auto_rollback(self) -> None:
+        """One verified-good version redeployed over a corrupt artifact."""
+        with self._lock:
+            self.auto_rollbacks_total += 1
+
+    def record_journal_recovered(self, n: int = 1) -> None:
+        """``n`` journal records successfully replayed after a restart."""
+        with self._lock:
+            self.journal_records_recovered_total += int(n)
+
+    def record_journal_dropped(self, n: int = 1) -> None:
+        """``n`` journal records lost to torn tails / malformed lines."""
+        with self._lock:
+            self.journal_records_dropped_total += int(n)
+
+    def record_recovery(self) -> None:
+        """One startup recovery pass completed."""
+        with self._lock:
+            self.recoveries_total += 1
 
     def set_drift_score(self, model: str, score: float) -> None:
         """Mirror one model's latest configuration-drift score."""
@@ -226,6 +263,15 @@ class ServingMetrics:
             "retrains_total": self.retrains_total,
             "promotions_total": self.promotions_total,
             "rollbacks_total": self.rollbacks_total,
+            "artifact_verify_failures_total":
+                self.artifact_verify_failures_total,
+            "artifacts_quarantined_total": self.artifacts_quarantined_total,
+            "auto_rollbacks_total": self.auto_rollbacks_total,
+            "journal_records_recovered_total":
+                self.journal_records_recovered_total,
+            "journal_records_dropped_total":
+                self.journal_records_dropped_total,
+            "recoveries_total": self.recoveries_total,
             "drift_scores": self.drift_scores(),
             "breaker_states": self.breaker_states(),
             "latency_seconds": self.latency_quantiles(),
@@ -266,6 +312,23 @@ class ServingMetrics:
              "Candidate models promoted.", self.promotions_total)
         emit("rollbacks_total", "counter",
              "Promotions rolled back.", self.rollbacks_total)
+        emit("artifact_verify_failures_total", "counter",
+             "Artifacts whose bytes failed sha256 verification.",
+             self.artifact_verify_failures_total)
+        emit("artifacts_quarantined_total", "counter",
+             "Corrupt artifacts moved into quarantine.",
+             self.artifacts_quarantined_total)
+        emit("auto_rollbacks_total", "counter",
+             "Verified-good versions redeployed over corrupt artifacts.",
+             self.auto_rollbacks_total)
+        emit("journal_records_recovered_total", "counter",
+             "Observation journal records replayed after restart.",
+             self.journal_records_recovered_total)
+        emit("journal_records_dropped_total", "counter",
+             "Observation journal records lost to torn tails.",
+             self.journal_records_dropped_total)
+        emit("recoveries_total", "counter",
+             "Startup recovery passes completed.", self.recoveries_total)
         drift = self.drift_scores()
         if drift:
             lines.append(

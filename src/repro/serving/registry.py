@@ -19,10 +19,11 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from ..models.neural import NeuralWorkloadModel
-from ..models.persistence import load_model_document, model_from_dict
+from ..models.persistence import model_document_from_bytes, model_from_dict
 from ..reliability.faults import SITE_REGISTRY_LOAD, SITE_REGISTRY_STAT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..durability.integrity import IntegrityGuard
     from ..observability.trace import Tracer
     from ..reliability.faults import FaultPlan
 
@@ -67,6 +68,14 @@ class ModelRegistry:
         artifact parse (first load and hot reload alike) then shows up as
         a ``registry.load`` span in the requesting trace — the stall a
         request pays when it lands right after a hot deploy.
+    integrity:
+        Optional :class:`~repro.durability.integrity.IntegrityGuard`.
+        When present, every load first verifies the artifact's bytes
+        against its recorded sha256, and a corrupt artifact (verification
+        failure or parse error) is quarantined and — when the guard
+        carries a rollback hook — replaced by the last verified-good
+        stored version, with the load retried once against the healed
+        file.  Without a guard, corruption raises as before.
     """
 
     def __init__(
@@ -75,6 +84,7 @@ class ModelRegistry:
         check_mtime: bool = True,
         faults: Optional["FaultPlan"] = None,
         tracer: Optional["Tracer"] = None,
+        integrity: Optional["IntegrityGuard"] = None,
     ):
         self.directory = Path(directory)
         if not self.directory.is_dir():
@@ -82,6 +92,7 @@ class ModelRegistry:
         self.check_mtime = bool(check_mtime)
         self.faults = faults
         self.tracer = tracer
+        self.integrity = integrity
         self._entries: Dict[str, RegistryEntry] = {}
         self._lock = threading.Lock()
 
@@ -139,7 +150,10 @@ class ModelRegistry:
                 return entry
         # Parse outside the lock: loading a large artifact must not stall
         # concurrent lookups of other (or the old) models.
-        entry = self._load(name, path, mtime_ns)
+        try:
+            entry = self._load(name, path, mtime_ns)
+        except ValueError as exc:
+            entry = self._recover_corrupt(name, path, exc)
         with self._lock:
             current = self._entries.get(name)
             # Another thread may have loaded an even newer artifact while
@@ -168,6 +182,28 @@ class ModelRegistry:
 
     # ------------------------------------------------------------------
 
+    def _recover_corrupt(
+        self, name: str, path: Path, exc: ValueError
+    ) -> RegistryEntry:
+        """Quarantine a corrupt artifact, roll back, and retry the load once.
+
+        Only reached when a load raised :class:`ValueError` (torn JSON,
+        digest mismatch, missing fields).  Without an integrity guard —
+        or when the guard cannot restore a good artifact — the original
+        error propagates; the self-healing path needs both a guard and
+        its rollback hook.
+        """
+        if self.integrity is None:
+            raise exc
+        restored = self.integrity.handle_corrupt(name, path, exc)
+        if not restored:
+            raise exc
+        try:
+            mtime_ns = os.stat(path).st_mtime_ns
+        except OSError:
+            raise exc from None
+        return self._load(name, path, mtime_ns)
+
     def _load(self, name: str, path: Path, mtime_ns: int) -> RegistryEntry:
         if self.tracer is None:
             return self._load_inner(name, path, mtime_ns)
@@ -183,7 +219,17 @@ class ModelRegistry:
     ) -> RegistryEntry:
         if self.faults is not None:
             self.faults.fire(SITE_REGISTRY_LOAD, path=path)
-        payload = load_model_document(path)
+        # One read serves both the integrity check and the parse — the
+        # verify-on-load overhead is the hash and the sidecar read only.
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise ValueError(
+                f"cannot read model file {path}: {exc}"
+            ) from exc
+        if self.integrity is not None:
+            self.integrity.verify(path, payload=raw)
+        payload = model_document_from_bytes(raw, path)
         try:
             model = model_from_dict(payload)
         except KeyError as exc:

@@ -27,6 +27,18 @@ Endpoints
     Recent traces from the engine tracer's in-memory buffer, newest
     first: ``?limit=``, ``?min_duration_ms=``, ``?status=error``, and
     ``?slow=1`` (the slow-span log) filter; 404 when tracing is off.
+``GET /readyz``
+    Readiness (distinct from liveness): 200 while the engine admits new
+    requests, 503 once draining has begun — the signal a load balancer
+    uses to stop routing here before the process exits.
+``POST /admin/drain``
+    Begin graceful shutdown: flip ``/readyz`` to not-ready, shed new
+    ``/predict`` calls (503 + Retry-After), complete everything already
+    queued in the micro-batchers, fsync the observation journal, flush
+    the trace exporter, and write the clean-shutdown marker the next
+    startup's recovery pass consults.  The HTTP listener itself stays up
+    (``/metrics`` and ``/readyz`` keep answering) until the process
+    exits; ``SIGTERM`` runs the same sequence and then stops the server.
 
 Callers may send an ``X-Deadline-Ms`` header on ``/predict``; the budget
 is honoured through the engine into the micro-batcher wait.  Trace
@@ -44,9 +56,11 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import signal
 import sys
 import threading
 import uuid
+from pathlib import Path
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
@@ -147,6 +161,14 @@ class _Handler(BaseHTTPRequestHandler):
             health = self.server.engine.health()
             status = 503 if health["status"] == UNHEALTHY else 200
             self._send_json(status, health)
+        elif parsed.path == "/readyz":
+            draining = self.server.engine.draining
+            payload = {
+                "ready": not draining,
+                "draining": draining,
+                "models": len(self.server.engine.list_models()),
+            }
+            self._send_json(503 if draining else 200, payload)
         elif parsed.path == "/models":
             engine = self.server.engine
             self._send_json(
@@ -224,7 +246,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         self._begin_request()
-        if urlparse(self.path).path != "/predict":
+        path = urlparse(self.path).path
+        if path == "/admin/drain":
+            # Runs in this handler's thread (the server is threaded), so
+            # /readyz and /metrics keep answering while futures drain.
+            report = self.server.drain()
+            self._send_json(200, report)
+            return
+        if path != "/predict":
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
         engine = self.server.engine
@@ -395,6 +424,8 @@ class ServingHTTPServer(ThreadingHTTPServer):
         engine: ServingEngine,
         verbose: bool = False,
         lifecycle=None,
+        observation_log=None,
+        shutdown_marker=None,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
@@ -403,6 +434,45 @@ class ServingHTTPServer(ThreadingHTTPServer):
         #: (anything with a JSON-serializable ``status()``) behind
         #: ``GET /lifecycle``.
         self.lifecycle = lifecycle
+        #: Optional :class:`repro.lifecycle.observations.ObservationLog`
+        #: whose journal the drain sequence fsyncs before declaring the
+        #: shutdown clean.
+        self.observation_log = observation_log
+        #: Optional :class:`repro.durability.integrity.CleanShutdownMarker`
+        #: written at the end of a successful drain.
+        self.shutdown_marker = shutdown_marker
+        self._drain_lock = threading.Lock()
+        self._drain_report: Optional[dict] = None
+
+    def drain(self) -> dict:
+        """Run the graceful-drain sequence once; returns a report.
+
+        Admission stops first (``/readyz`` flips, new ``/predict`` calls
+        shed with 503), then in-flight and queued work completes, the
+        observation journal is fsynced, the trace exporter flushed, and
+        the clean-shutdown marker written.  Safe to call repeatedly —
+        later calls return the first report.
+        """
+        with self._drain_lock:
+            if self._drain_report is not None:
+                return dict(self._drain_report)
+            self.engine.drain()
+            report = {"draining": True, "journal_synced": False,
+                      "marker_written": False}
+            if self.observation_log is not None:
+                try:
+                    self.observation_log.sync_to_disk()
+                    report["journal_synced"] = True
+                except Exception:  # noqa: BLE001 - drain must complete
+                    pass
+            if self.shutdown_marker is not None:
+                try:
+                    self.shutdown_marker.write({"drained": True})
+                    report["marker_written"] = True
+                except OSError:
+                    pass
+            self._drain_report = report
+            return dict(report)
 
     @property
     def url(self) -> str:
@@ -429,12 +499,19 @@ def create_server(
     port: int = 0,
     verbose: bool = False,
     lifecycle=None,
+    observation_log=None,
+    shutdown_marker=None,
 ) -> ServingHTTPServer:
     """Build a server around an engine (or a model-directory path)."""
     if not isinstance(engine, ServingEngine):
         engine = ServingEngine(engine)
     return ServingHTTPServer(
-        (host, port), engine, verbose=verbose, lifecycle=lifecycle
+        (host, port),
+        engine,
+        verbose=verbose,
+        lifecycle=lifecycle,
+        observation_log=observation_log,
+        shutdown_marker=shutdown_marker,
     )
 
 
@@ -513,14 +590,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable request tracing entirely",
     )
     parser.add_argument(
+        "--store-root",
+        help="VersionedModelStore root; enables artifact integrity "
+             "verification with quarantine + auto-rollback and startup "
+             "manifest repair",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        help="write-ahead observation journal directory (replayed with "
+             "torn-tail recovery at startup, fsynced on drain)",
+    )
+    parser.add_argument(
+        "--no-startup-recovery", action="store_true",
+        help="skip the startup recovery pass (manifest repair, artifact "
+             "verification, journal tail repair)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; serves until interrupted."""
+    """CLI entry point; serves until interrupted (SIGTERM drains first)."""
     args = build_parser().parse_args(argv)
+    # Durability wiring is imported lazily: the serving package must stay
+    # importable without dragging the lifecycle layer in at module level.
+    from ..durability.integrity import CleanShutdownMarker, IntegrityGuard
+    from ..durability.recovery import RecoveryManager
+
+    store = None
+    guard = None
+    if args.store_root:
+        from ..lifecycle.store import VersionedModelStore
+
+        store = VersionedModelStore(args.store_root)
+        guard = IntegrityGuard(
+            rollback=lambda name: (
+                store.redeploy_verified(name, args.models_dir) is not None
+            ),
+        )
     try:
         engine = ServingEngine(
             args.models_dir,
@@ -536,23 +645,70 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_sample_rate=args.trace_sample_rate,
             slow_trace_ms=args.slow_trace_ms or None,
             trace_export=args.trace_export,
+            integrity=guard,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    if guard is not None and guard.tracer is None:
+        guard.tracer = engine.tracer
+    marker = CleanShutdownMarker(Path(args.models_dir))
+    if not args.no_startup_recovery and (store is not None or args.journal_dir):
+        report = RecoveryManager(
+            store=store,
+            registry_dir=args.models_dir,
+            journal_dir=args.journal_dir,
+            marker=marker,
+            metrics=engine.metrics,
+            tracer=engine.tracer,
+        ).run()
+        if report.repaired_anything:
+            print(f"Startup recovery repaired state: {report.to_dict()}")
+        elif not report.clean_shutdown:
+            print("Startup recovery: no clean-shutdown marker, state verified")
+    observation_log = None
+    if args.journal_dir:
+        from ..lifecycle.observations import ObservationLog, serving_tap
+
+        # The recovery pass above already counted the replay into the
+        # metrics; this replay only rebuilds the in-memory buffer.
+        observation_log = ObservationLog.replay_journal(
+            args.journal_dir, resume=True
+        )
+        observation_log.metrics = engine.metrics
+        engine.observer = serving_tap(observation_log)
     server = ServingHTTPServer(
-        (args.host, args.port), engine, verbose=args.verbose
+        (args.host, args.port),
+        engine,
+        verbose=args.verbose,
+        observation_log=observation_log,
+        shutdown_marker=marker,
     )
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal API
+        # Drain on a worker thread: shutdown() must not run on the
+        # thread executing serve_forever (it would deadlock).
+        threading.Thread(
+            target=lambda: (server.drain(), server.shutdown()),
+            name="repro-serving-drain",
+            daemon=True,
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     models = engine.list_models()
     print(f"Serving {len(models)} model(s) {models} at {server.url}")
     print(
-        "POST /predict | GET /models | GET /healthz | GET /metrics "
-        "| GET /traces"
+        "POST /predict | GET /models | GET /healthz | GET /readyz "
+        "| GET /metrics | GET /traces | POST /admin/drain"
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nShutting down.")
     finally:
+        server.drain()
         server.shutdown()
         server.server_close()
     return 0

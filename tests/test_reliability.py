@@ -467,7 +467,12 @@ class TestAtomicSave:
     def test_no_temp_files_left_behind(self, tiny_model, tmp_path):
         model, _ = tiny_model
         save_model(model, tmp_path / "m.json")
-        leftovers = [p for p in tmp_path.iterdir() if p.name != "m.json"]
+        # The artifact plus its sha256 sidecar — nothing else (no .tmp).
+        leftovers = [
+            p
+            for p in tmp_path.iterdir()
+            if p.name not in ("m.json", "m.json.sha256")
+        ]
         assert leftovers == []
 
     def test_failed_save_cleans_up_and_keeps_old_artifact(
@@ -480,7 +485,10 @@ class TestAtomicSave:
         with pytest.raises(ValueError, match="fitted"):
             save_model(NeuralWorkloadModel(), path)  # unfitted → refuses
         assert path.read_text() == good
-        assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "m.json",
+            "m.json.sha256",
+        ]
 
     def test_concurrent_saves_never_expose_truncated_artifact(
         self, tiny_model, tmp_path
