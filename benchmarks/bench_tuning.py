@@ -1,0 +1,110 @@
+"""Autotuning: cold search cost vs cached recommendation latency.
+
+Two claims the recommendation engine makes, measured in-process:
+
+1. a cached recommendation — the common case for standing objectives
+   and repeated operator queries — is at least 10x faster than the cold
+   search that produced it;
+2. a cold budget-256 search (the server's default) finishes inside a
+   fixed wall-time bound, so ``POST /recommend`` stays an interactive
+   endpoint rather than a batch job.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import once
+from repro.models.neural import NeuralWorkloadModel
+from repro.models.persistence import save_model
+from repro.serving import ServingEngine
+from repro.tuning import Constraint, Objective, RecommendationEngine
+
+#: Wall-time ceiling for one cold budget-256 search (seconds).  The MLP
+#: forward pass is microseconds per row; even with tracing and cache
+#: bookkeeping a search is a handful of vectorized sweeps.
+COLD_SEARCH_BOUND_S = 5.0
+CACHE_SPEEDUP_FLOOR = 10.0
+
+
+def _fitted_model():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(1.0, 24.0, size=(60, 4))
+    y = np.column_stack(
+        [
+            0.1 + 0.02 * (x[:, 1] - 4.0) ** 2,
+            0.1 + 0.01 * x[:, 3],
+            x[:, 0] * 0.05,
+            x[:, 2] * 0.03 + 0.2,
+            400.0 - 3.0 * (x[:, 3] - 5.0) ** 2,
+        ]
+    )
+    model = NeuralWorkloadModel(
+        hidden=(16, 8), error_threshold=0.02, max_epochs=2000, seed=0
+    )
+    return model.fit(x, y)
+
+
+def test_cached_recommendation_speedup(benchmark, tmp_path):
+    save_model(_fitted_model(), tmp_path / "paper.json")
+    engine = ServingEngine(tmp_path, batching=False)
+    tuner = RecommendationEngine(engine, default_budget=256)
+    objective = Objective(
+        kind="slo", constraints=(Constraint("dealer_browse_rt", 0.5),)
+    )
+
+    def run():
+        start = time.perf_counter()
+        cold = tuner.recommend("paper", objective, seed=0)
+        cold_seconds = time.perf_counter() - start
+
+        # Amortize the cached path over repeats: a single hit is too
+        # fast for perf_counter noise.
+        repeats = 50
+        start = time.perf_counter()
+        for _ in range(repeats):
+            cached = tuner.recommend("paper", objective, seed=0)
+        cached_seconds = (time.perf_counter() - start) / repeats
+        assert cached == cold
+        return cold_seconds, cached_seconds
+
+    try:
+        cold_seconds, cached_seconds = once(benchmark, run)
+    finally:
+        engine.close()
+    speedup = cold_seconds / max(cached_seconds, 1e-9)
+    print(
+        f"\ncold search {cold_seconds * 1000:.1f} ms, cached "
+        f"{cached_seconds * 1e6:.0f} us, speedup {speedup:.0f}x"
+    )
+    assert speedup >= CACHE_SPEEDUP_FLOOR, (
+        f"cached recommendation only {speedup:.1f}x faster than the cold "
+        f"search (floor {CACHE_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_cold_search_wall_time(benchmark, tmp_path):
+    save_model(_fitted_model(), tmp_path / "paper.json")
+    engine = ServingEngine(tmp_path, batching=False)
+    tuner = RecommendationEngine(engine, default_budget=256, cache_size=0)
+
+    def run():
+        start = time.perf_counter()
+        payload = tuner.recommend(
+            "paper", Objective(), budget=256, seed=0
+        )
+        return time.perf_counter() - start, payload
+
+    try:
+        seconds, payload = once(benchmark, run)
+    finally:
+        engine.close()
+    print(
+        f"\ncold budget-256 search: {seconds * 1000:.1f} ms, "
+        f"{payload['evals']} evals"
+    )
+    assert payload["evals"] <= 256
+    assert seconds < COLD_SEARCH_BOUND_S, (
+        f"cold budget-256 search took {seconds:.2f}s "
+        f"(bound {COLD_SEARCH_BOUND_S}s)"
+    )

@@ -30,6 +30,7 @@ setup(
             "repro-serve=repro.cli:serve_main",
             "repro-lifecycle=repro.cli:lifecycle_main",
             "repro-trace=repro.cli:trace_main",
+            "repro-tune=repro.cli:tune_main",
         ]
     },
 )

@@ -1,15 +1,25 @@
-"""Variance-based global sensitivity (Sobol indices) through the model.
+"""Sobol machinery: low-discrepancy sequences and global sensitivity.
 
-Local attribution (:mod:`repro.analysis.attribution`) answers "what does one
-more thread do *here*"; Sobol indices answer the global version — what
-fraction of an indicator's variance over the whole region is attributable
-to each configuration parameter alone (first order, ``S_i``) and including
-its interactions (total order, ``S_Ti``).  A parameter with a large
-``S_Ti - S_i`` gap acts mainly through interactions — precisely the
-valley/hill situations the paper says one-factor-at-a-time tuning misses.
+Two related tools share this module:
 
-Implementation: the Saltelli/Jansen pick-freeze estimator over the fitted
-model (cheap to evaluate, so tens of thousands of model calls are fine).
+* :func:`sobol_sequence` / :func:`sobol_design` — a from-scratch Sobol
+  low-discrepancy generator (Gray-code construction over Joe–Kuo
+  direction numbers, optional seeded digital-shift scrambling).  The
+  online tuning service (:mod:`repro.tuning`) seeds its configuration
+  searches from it: ``n`` Sobol points cover the 4-D space far more
+  evenly than ``n`` uniform draws, so the search's first vectorized
+  sweep already brackets every valley the paper's surfaces show.
+* :func:`sobol_indices` — variance-based global sensitivity.  Local
+  attribution (:mod:`repro.analysis.attribution`) answers "what does one
+  more thread do *here*"; Sobol indices answer the global version — what
+  fraction of an indicator's variance over the whole region is
+  attributable to each configuration parameter alone (first order,
+  ``S_i``) and including its interactions (total order, ``S_Ti``).  A
+  parameter with a large ``S_Ti - S_i`` gap acts mainly through
+  interactions — precisely the valley/hill situations the paper says
+  one-factor-at-a-time tuning misses.  Implementation: the
+  Saltelli/Jansen pick-freeze estimator over the fitted model (cheap to
+  evaluate, so tens of thousands of model calls are fine).
 """
 
 from __future__ import annotations
@@ -20,9 +30,127 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..workload.sampler import ConfigSpace
-from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES, WorkloadConfig
 
-__all__ = ["SobolIndices", "sobol_indices"]
+__all__ = [
+    "SobolIndices",
+    "sobol_indices",
+    "sobol_sequence",
+    "sobol_design",
+    "SOBOL_MAX_DIMS",
+]
+
+# ----------------------------------------------------------------------
+# Sobol low-discrepancy sequence (Gray-code construction)
+# ----------------------------------------------------------------------
+
+#: Bits of precision per coordinate; supports sequences up to 2**30 points.
+_SOBOL_BITS = 30
+
+#: Joe–Kuo (new-joe-kuo-6) primitive polynomials and initial direction
+#: numbers for dimensions 2..8; dimension 1 is the van der Corput sequence.
+#: Entries are ``(degree s, polynomial coefficients a, m_1..m_s)``.
+_DIRECTIONS = (
+    (1, 0, (1,)),
+    (2, 1, (1, 3)),
+    (3, 1, (1, 3, 1)),
+    (3, 2, (1, 1, 1)),
+    (4, 1, (1, 1, 3, 3)),
+    (4, 4, (1, 3, 5, 13)),
+    (5, 2, (1, 1, 5, 5, 17)),
+)
+
+#: Dimensions supported by the embedded direction-number table.
+SOBOL_MAX_DIMS = 1 + len(_DIRECTIONS)
+
+
+def _direction_vectors(dim: int) -> np.ndarray:
+    """The ``_SOBOL_BITS`` direction integers for one dimension (0-based)."""
+    v = np.zeros(_SOBOL_BITS, dtype=np.int64)
+    if dim == 0:
+        for k in range(_SOBOL_BITS):
+            v[k] = 1 << (_SOBOL_BITS - 1 - k)
+        return v
+    s, a, m_init = _DIRECTIONS[dim - 1]
+    m = list(m_init)
+    for k in range(s, _SOBOL_BITS):
+        new = m[k - s] ^ (m[k - s] << s)
+        for i in range(1, s):
+            if (a >> (s - 1 - i)) & 1:
+                new ^= m[k - i] << i
+        m.append(new)
+    for k in range(_SOBOL_BITS):
+        v[k] = m[k] << (_SOBOL_BITS - 1 - k)
+    return v
+
+
+def sobol_sequence(
+    n: int,
+    dims: int,
+    seed: Optional[int] = None,
+    scramble: bool = True,
+) -> np.ndarray:
+    """The first ``n`` points of a ``dims``-dimensional Sobol sequence.
+
+    Returns an ``(n, dims)`` array in ``[0, 1)``.  The Gray-code
+    construction XORs one direction number per step, so generation is
+    O(n·dims).  With ``scramble`` (the default), every dimension's bit
+    stream is XORed with a seeded random digital shift — decorrelating
+    repeated searches while preserving the net's equidistribution; the
+    scrambled sequence is a pure function of ``(n, dims, seed)``.
+    ``n == 0`` returns an empty ``(0, dims)`` array.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 1 <= dims <= SOBOL_MAX_DIMS:
+        raise ValueError(
+            f"dims must be in [1, {SOBOL_MAX_DIMS}] "
+            f"(embedded direction numbers), got {dims}"
+        )
+    points = np.zeros((n, dims), dtype=np.int64)
+    if n > 0:
+        for j in range(dims):
+            v = _direction_vectors(j)
+            x = np.int64(0)
+            for i in range(1, n):
+                # Gray-code index: the bit that flips between i-1 and i.
+                c = (i & -i).bit_length() - 1
+                x ^= v[c]
+                points[i, j] = x
+    if scramble:
+        rng = np.random.default_rng(seed)
+        shift = rng.integers(
+            0, 1 << _SOBOL_BITS, size=dims, dtype=np.int64
+        )
+        points ^= shift[np.newaxis, :]
+    return points.astype(float) / float(1 << _SOBOL_BITS)
+
+
+def sobol_design(
+    space: ConfigSpace,
+    n: int,
+    seed: Optional[int] = None,
+    scramble: bool = True,
+) -> List[WorkloadConfig]:
+    """``n`` Sobol-distributed configurations across ``space``.
+
+    Unit-cube points from :func:`sobol_sequence` are mapped affinely onto
+    each :class:`~repro.workload.sampler.ParameterRange` (a degenerate
+    ``low == high`` range yields that constant) and clamped back into the
+    declared bounds after integer rounding, so every returned
+    configuration is inside the space.
+    """
+    unit = sobol_sequence(n, space.n_dims, seed=seed, scramble=scramble)
+    configs = []
+    for row in unit:
+        vector = np.array(
+            [
+                r.low + u * (r.high - r.low)
+                for u, r in zip(row, space.ranges)
+            ]
+        )
+        configs.append(WorkloadConfig.from_vector(space.clip(vector)))
+    return configs
 
 
 @dataclass

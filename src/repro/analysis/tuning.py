@@ -140,8 +140,36 @@ class ConfigurationAdvisor:
                     meets_limits=self.scoring.satisfied(indicators),
                 )
             )
-        recommendations.sort(key=lambda r: r.score, reverse=True)
+        # Equal scores are broken by configuration tuple order, so the
+        # ranking (and therefore recommend()'s answer) is a pure function
+        # of the candidate set — never of float-sort happenstance.
+        recommendations.sort(
+            key=lambda r: (-r.score, tuple(r.config.as_vector()))
+        )
         return recommendations
+
+    @staticmethod
+    def _clamped_candidates(
+        space: ConfigSpace, configs: Sequence[WorkloadConfig]
+    ) -> List[WorkloadConfig]:
+        """Candidates clamped into the declared bounds, deduplicated.
+
+        Grid generation rounds integer parameters, which can carry a
+        value just past a fractional bound (``low=2.6`` grids a 2);
+        clamping before evaluation keeps every scored candidate — and so
+        every recommendation — inside the space the caller declared.
+        """
+        seen = set()
+        clamped = []
+        for config in configs:
+            candidate = WorkloadConfig.from_vector(
+                space.clip(config.as_vector())
+            )
+            key = tuple(candidate.as_vector())
+            if key not in seen:
+                seen.add(key)
+                clamped.append(candidate)
+        return clamped
 
     def recommend(
         self,
@@ -152,7 +180,7 @@ class ConfigurationAdvisor:
         """Scan a full-factorial candidate grid and return the top ``top_k``."""
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
-        candidates = full_factorial(space, levels)
+        candidates = self._clamped_candidates(space, full_factorial(space, levels))
         return self.evaluate(candidates)[:top_k]
 
     def plan_experiments(
@@ -171,7 +199,9 @@ class ConfigurationAdvisor:
         """
         if budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")
-        ranked = self.evaluate(full_factorial(space, levels))
+        ranked = self.evaluate(
+            self._clamped_candidates(space, full_factorial(space, levels))
+        )
         spans = np.array(
             [max(r.high - r.low, 1e-12) for r in space.ranges], dtype=float
         )

@@ -41,6 +41,7 @@ __all__ = [
     "serve_main",
     "lifecycle_main",
     "trace_main",
+    "tune_main",
 ]
 
 
@@ -63,6 +64,13 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     from .observability.cli import main as _trace
 
     return _trace(argv)
+
+
+def tune_main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro-tune`` entry point (lazy import, same pattern)."""
+    from .tuning.cli import main as _tune
+
+    return _tune(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:

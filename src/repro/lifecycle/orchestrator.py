@@ -192,6 +192,12 @@ class LifecycleOrchestrator:
         with ``drift_check`` / ``retrain`` (including per-epoch training
         spans) / ``gate`` / ``promote`` children, which answers *where a
         ten-second retrain cycle actually went*.
+    tuner:
+        Optional :class:`~repro.tuning.engine.RecommendationEngine`.
+        Every promote and rollback then invalidates the recommendation
+        cache and re-tunes the model's standing objectives
+        (``lifecycle.retune`` span); the resulting config shift is
+        surfaced under ``GET /lifecycle``.
     """
 
     def __init__(
@@ -205,6 +211,7 @@ class LifecycleOrchestrator:
         seed: int = 0,
         kfold: int = 0,
         tracer: Optional[Tracer] = None,
+        tuner=None,
     ):
         self.registry_dir = Path(registry_dir)
         self.store = store
@@ -217,8 +224,10 @@ class LifecycleOrchestrator:
         if kfold < 0 or kfold == 1:
             raise ValueError(f"kfold must be 0 or >= 2, got {kfold}")
         self.kfold = int(kfold)
+        self.tuner = tuner
         self.last_drift: Dict[str, DriftReport] = {}
         self.last_cycle: Dict[str, CycleReport] = {}
+        self.last_retune: Dict[str, List[dict]] = {}
 
     # ------------------------------------------------------------------
     # pieces
@@ -468,6 +477,7 @@ class LifecycleOrchestrator:
             target = self.store.promote(name, version, self.registry_dir)
         if self.metrics is not None:
             self.metrics.record_promotion()
+        self._retune(name)
         return target
 
     def rollback(self, name: str) -> int:
@@ -477,7 +487,33 @@ class LifecycleOrchestrator:
             span.set_attribute("version", int(version))
         if self.metrics is not None:
             self.metrics.record_rollback()
+        self._retune(name)
         return version
+
+    def _retune(self, name: str) -> None:
+        """After a deploy: drop stale recommendations, re-tune objectives.
+
+        A promoted artifact answers differently, so cached
+        recommendations against the old version must never be served and
+        standing objectives deserve a fresh search.  Tuning failures are
+        recorded but never block the deploy that triggered them.
+        """
+        if self.tuner is None:
+            return
+        with self._span("lifecycle.retune", model=name) as span:
+            try:
+                records = self.tuner.on_model_updated(name)
+            except Exception as exc:  # noqa: BLE001 - deploys must survive
+                self.last_retune[name] = [
+                    {"model": name, "error": f"{type(exc).__name__}: {exc}"}
+                ]
+                span.record_error(exc)
+                return
+            self.last_retune[name] = records
+            span.set_attribute("objectives", len(records))
+            span.set_attribute(
+                "shifted", sum(1 for r in records if r.get("shifted"))
+            )
 
     # ------------------------------------------------------------------
     # the loop
@@ -565,6 +601,7 @@ class LifecycleOrchestrator:
                     if name in self.last_cycle
                     else None
                 ),
+                "last_retune": self.last_retune.get(name),
             }
         payload = {
             "models": per_model,
@@ -584,4 +621,6 @@ class LifecycleOrchestrator:
                 "rollbacks_total": self.metrics.rollbacks_total,
                 "drift_scores": self.metrics.drift_scores(),
             }
+        if self.tuner is not None:
+            payload["tuning"] = self.tuner.standing_status()
         return payload

@@ -143,6 +143,34 @@ class ServingClient:
             dtype=float,
         )
 
+    def recommend(
+        self,
+        model: str,
+        objective: Optional[dict] = None,
+        budget: Optional[int] = None,
+        seed: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Ask ``POST /recommend`` for the best configuration.
+
+        ``objective`` is the :class:`~repro.tuning.objectives.Objective`
+        wire form (``None`` means maximize ``effective_tps``).  Returns
+        the full recommendation body: ``config``, ``predicted``,
+        ``score``, ``feasible``, ``rationale``, and search accounting.
+        Like ``/predict``, the call is a pure function of its body, so
+        the retry policy applies safely.
+        """
+        body: dict = {"model": model, "seed": int(seed)}
+        if objective is not None:
+            body["objective"] = objective
+        if budget is not None:
+            body["budget"] = int(budget)
+        return self._post_json("/recommend", body, deadline_s)
+
+    def recommendations(self, limit: int = 20) -> dict:
+        """Recent recommendations, standing objectives, cache stats."""
+        return self._get_json(f"/recommendations?limit={int(limit)}")
+
     def models(self) -> List[str]:
         """Model names the server can answer for."""
         return self._get_json("/models")["models"]

@@ -584,6 +584,12 @@ class ServingEngine:
         with self._lock:
             return self._draining
 
+    @property
+    def inflight(self) -> int:
+        """Requests currently past admission (drives the tuning shed tier)."""
+        with self._lock:
+            return self._inflight
+
     def drain(self, timeout: float = 5.0) -> None:
         """Graceful shutdown: refuse new work, finish everything queued.
 

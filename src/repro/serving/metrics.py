@@ -67,6 +67,10 @@ class ServingMetrics:
         self.journal_records_recovered_total = 0
         self.journal_records_dropped_total = 0
         self.recoveries_total = 0
+        # Autotuning (repro.tuning) counters.
+        self.recommendations_total = 0
+        self.recommendation_cache_hits_total = 0
+        self.recommendation_search_evals_total = 0
         self._drift_scores: Dict[str, float] = {}
         self._breaker_states: Dict[str, str] = {}
         self._latencies = deque(maxlen=int(window))
@@ -154,6 +158,14 @@ class ServingMetrics:
         """One startup recovery pass completed."""
         with self._lock:
             self.recoveries_total += 1
+
+    def record_recommendation(self, evals: int = 0, cache_hit: bool = False) -> None:
+        """One configuration recommendation served (``evals`` model rows)."""
+        with self._lock:
+            self.recommendations_total += 1
+            self.recommendation_search_evals_total += int(evals)
+            if cache_hit:
+                self.recommendation_cache_hits_total += 1
 
     def set_drift_score(self, model: str, score: float) -> None:
         """Mirror one model's latest configuration-drift score."""
@@ -272,6 +284,11 @@ class ServingMetrics:
             "journal_records_dropped_total":
                 self.journal_records_dropped_total,
             "recoveries_total": self.recoveries_total,
+            "recommendations_total": self.recommendations_total,
+            "recommendation_cache_hits_total":
+                self.recommendation_cache_hits_total,
+            "recommendation_search_evals_total":
+                self.recommendation_search_evals_total,
             "drift_scores": self.drift_scores(),
             "breaker_states": self.breaker_states(),
             "latency_seconds": self.latency_quantiles(),
@@ -329,6 +346,15 @@ class ServingMetrics:
              self.journal_records_dropped_total)
         emit("recoveries_total", "counter",
              "Startup recovery passes completed.", self.recoveries_total)
+        emit("recommendations_total", "counter",
+             "Configuration recommendations served.",
+             self.recommendations_total)
+        emit("recommendation_cache_hits_total", "counter",
+             "Recommendations answered from the LRU cache.",
+             self.recommendation_cache_hits_total)
+        emit("recommendation_search_evals_total", "counter",
+             "Model evaluations spent in recommendation searches.",
+             self.recommendation_search_evals_total)
         drift = self.drift_scores()
         if drift:
             lines.append(

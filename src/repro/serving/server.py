@@ -27,6 +27,21 @@ Endpoints
     Recent traces from the engine tracer's in-memory buffer, newest
     first: ``?limit=``, ``?min_duration_ms=``, ``?status=error``, and
     ``?slow=1`` (the slow-span log) filter; 404 when tracing is off.
+``POST /recommend``
+    Body: ``{"model": "<name>", "objective": {...}, "budget": N,
+    "seed": S}`` where ``objective`` is the
+    :meth:`~repro.tuning.objectives.Objective.to_dict` wire form.
+    Runs a model-guided configuration search (see :mod:`repro.tuning`)
+    and returns the best configuration, its predicted indicators, the
+    objective score, and a response-surface rationale.  Identical
+    ``(model version, objective, budget, seed)`` requests return
+    byte-identical bodies (and usually hit the recommendation cache).
+    Honours ``X-Deadline-Ms``; sheds with 503 while the engine is
+    draining or soft-overloaded — recommendations always yield to live
+    ``/predict`` traffic.  404 when tuning is disabled.
+``GET /recommendations``
+    Recent recommendations (newest first, ``?limit=``), standing
+    objectives, and cache statistics; 404 when tuning is disabled.
 ``GET /readyz``
     Readiness (distinct from liveness): 200 while the engine admits new
     requests, 503 once draining has begun — the signal a load balancer
@@ -196,6 +211,29 @@ class _Handler(BaseHTTPRequestHandler):
                 )
         elif parsed.path == "/traces":
             self._get_traces(parsed.query or "")
+        elif parsed.path == "/recommendations":
+            tuner = self.server.tuner
+            if tuner is None:
+                self._send_json(404, {"error": "tuning is disabled"})
+            else:
+                params = parse_qs(parsed.query or "")
+                try:
+                    limit = (
+                        int(params["limit"][0]) if "limit" in params else 20
+                    )
+                except ValueError as exc:
+                    self._send_json(
+                        400, {"error": f"bad query parameter: {exc}"}
+                    )
+                    return
+                self._send_json(
+                    200,
+                    {
+                        "recent": tuner.recent(limit=limit),
+                        "standing": tuner.standing_status(),
+                        "stats": tuner.stats(),
+                    },
+                )
         elif parsed.path == "/lifecycle":
             lifecycle = self.server.lifecycle
             if lifecycle is None:
@@ -253,7 +291,7 @@ class _Handler(BaseHTTPRequestHandler):
             report = self.server.drain()
             self._send_json(200, report)
             return
-        if path != "/predict":
+        if path not in ("/predict", "/recommend"):
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
         engine = self.server.engine
@@ -264,7 +302,7 @@ class _Handler(BaseHTTPRequestHandler):
                 context=tracer.extract_context(self.headers),
                 attributes={
                     "method": "POST",
-                    "path": "/predict",
+                    "path": path,
                     "request_id": self._request_id,
                 },
             )
@@ -273,7 +311,10 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             span = NOOP_SPAN
         with span:
-            self._handle_predict(engine, tracer, span)
+            if path == "/recommend":
+                self._handle_recommend(engine, span)
+            else:
+                self._handle_predict(engine, tracer, span)
 
     def _handle_predict(self, engine, tracer, span) -> None:
         try:
@@ -343,6 +384,81 @@ class _Handler(BaseHTTPRequestHandler):
         }
         if single:
             body["prediction"] = predictions[0]
+        self._send_json(200, body)
+
+    def _handle_recommend(self, engine, span) -> None:
+        """``POST /recommend``: one configuration search via the tuner."""
+        tuner = self.server.tuner
+        try:
+            if tuner is None:
+                raise _RequestError(404, "tuning is disabled")
+            payload = self._read_json()
+            model_name = payload.get("model")
+            if not isinstance(model_name, str) or not model_name:
+                raise _RequestError(400, "model: expected a non-empty string")
+            unknown = sorted(
+                set(payload) - {"model", "objective", "budget", "seed"}
+            )
+            if unknown:
+                raise _RequestError(400, f"unknown field {unknown[0]!r}")
+            from ..tuning.objectives import Objective
+
+            try:
+                objective = Objective.from_dict(payload.get("objective", {}))
+            except ValueError as exc:
+                raise _RequestError(400, f"objective: {exc}") from None
+            budget = payload.get("budget")
+            if budget is not None and (
+                isinstance(budget, bool) or not isinstance(budget, int)
+            ):
+                raise _RequestError(400, "budget: expected an integer")
+            seed = payload.get("seed", 0)
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise _RequestError(400, "seed: expected an integer")
+            deadline = self._read_deadline()
+            try:
+                body = tuner.recommend(
+                    model_name,
+                    objective,
+                    budget=budget,
+                    seed=seed,
+                    deadline=deadline,
+                )
+            except KeyError:
+                raise _RequestError(
+                    404,
+                    f"unknown model {model_name!r}; "
+                    f"available: {engine.list_models()}",
+                ) from None
+            except ValueError as exc:
+                raise _RequestError(400, str(exc)) from None
+        except _RequestError as exc:
+            engine.metrics.record_error()
+            span.record_error(exc).set_attribute("http_status", exc.status)
+            self._send_json(exc.status, {"error": str(exc)})
+            return
+        except (OverloadedError, CircuitOpenError) as exc:
+            engine.metrics.record_error()
+            retry_after = max(1, int(math.ceil(exc.retry_after)))
+            span.record_error(exc).set_attribute("http_status", 503)
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
+        except DeadlineExceeded as exc:
+            engine.metrics.record_error()
+            span.record_error(exc).set_attribute("http_status", 504)
+            self._send_json(504, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - search/model failures
+            engine.metrics.record_error()
+            span.record_error(exc).set_attribute("http_status", 500)
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        span.set_attribute("http_status", 200)
+        span.set_attribute("evals", body.get("evals", 0))
         self._send_json(200, body)
 
     # ------------------------------------------------------------------
@@ -426,6 +542,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
         lifecycle=None,
         observation_log=None,
         shutdown_marker=None,
+        tuner=None,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
@@ -434,6 +551,9 @@ class ServingHTTPServer(ThreadingHTTPServer):
         #: (anything with a JSON-serializable ``status()``) behind
         #: ``GET /lifecycle``.
         self.lifecycle = lifecycle
+        #: Optional :class:`repro.tuning.engine.RecommendationEngine`
+        #: behind ``POST /recommend`` / ``GET /recommendations``.
+        self.tuner = tuner
         #: Optional :class:`repro.lifecycle.observations.ObservationLog`
         #: whose journal the drain sequence fsyncs before declaring the
         #: shutdown clean.
@@ -501,6 +621,7 @@ def create_server(
     lifecycle=None,
     observation_log=None,
     shutdown_marker=None,
+    tuner=None,
 ) -> ServingHTTPServer:
     """Build a server around an engine (or a model-directory path)."""
     if not isinstance(engine, ServingEngine):
@@ -512,6 +633,7 @@ def create_server(
         lifecycle=lifecycle,
         observation_log=observation_log,
         shutdown_marker=shutdown_marker,
+        tuner=tuner,
     )
 
 
@@ -606,6 +728,18 @@ def build_parser() -> argparse.ArgumentParser:
              "verification, journal tail repair)",
     )
     parser.add_argument(
+        "--tune-budget", type=int, default=256,
+        help="default model evaluations per /recommend search",
+    )
+    parser.add_argument(
+        "--tune-cache-size", type=int, default=64,
+        help="recommendation-cache entries (0 disables caching)",
+    )
+    parser.add_argument(
+        "--no-tuning", action="store_true",
+        help="disable the autotuning endpoints entirely",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
     return parser
@@ -676,12 +810,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         observation_log.metrics = engine.metrics
         engine.observer = serving_tap(observation_log)
+    tuner = None
+    if not args.no_tuning:
+        from ..tuning.engine import RecommendationEngine
+
+        tuner = RecommendationEngine(
+            engine,
+            default_budget=args.tune_budget,
+            cache_size=args.tune_cache_size,
+        )
     server = ServingHTTPServer(
         (args.host, args.port),
         engine,
         verbose=args.verbose,
         observation_log=observation_log,
         shutdown_marker=marker,
+        tuner=tuner,
     )
 
     def _on_sigterm(signum, frame):  # noqa: ARG001 - signal API
@@ -700,8 +844,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     models = engine.list_models()
     print(f"Serving {len(models)} model(s) {models} at {server.url}")
     print(
-        "POST /predict | GET /models | GET /healthz | GET /readyz "
-        "| GET /metrics | GET /traces | POST /admin/drain"
+        "POST /predict | POST /recommend | GET /models | GET /healthz "
+        "| GET /readyz | GET /metrics | GET /traces | POST /admin/drain"
     )
     try:
         server.serve_forever()

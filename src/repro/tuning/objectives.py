@@ -1,0 +1,261 @@
+"""Tuning objectives: what "best configuration" means, as data.
+
+The paper's Section 5.3 closes with "a system that recommends the best
+configuration according to a scoring function"; an :class:`Objective` is
+that scoring function made explicit, validatable, and serializable — the
+JSON body of ``POST /recommend`` and the unit the recommendation cache
+keys on.  Three kinds cover the tuning conversations the surfaces
+support:
+
+``max_throughput``
+    Maximize one indicator (default ``effective_tps``); optional
+    constraints act as soft penalties.
+``slo``
+    Maximize the target subject to response-time service-level
+    constraints — the "hit a p99 SLO" request.  Violations are penalized
+    proportionally to the target's magnitude (the
+    :class:`~repro.analysis.tuning.ScoringFunction` semantics), so an
+    infeasible region can never outscore a feasible one nearby.
+``cost``
+    Cost-weighted composite: the ``slo`` score minus ``thread_cost`` per
+    provisioned thread — throughput is not free when every thread is a
+    billed core.
+
+Scores are *higher is better* everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.tuning import ScoringFunction
+from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
+
+__all__ = ["Constraint", "Objective", "OBJECTIVE_KINDS"]
+
+OBJECTIVE_KINDS = ("max_throughput", "slo", "cost")
+
+#: Configuration coordinates priced by ``thread_cost`` (all thread pools).
+_THREAD_INDICES = tuple(
+    i for i, name in enumerate(INPUT_NAMES) if name.endswith("_threads")
+)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper bound one predicted indicator must respect."""
+
+    indicator: str
+    max_value: float
+
+    def __post_init__(self):
+        if self.indicator not in OUTPUT_NAMES:
+            raise ValueError(
+                f"unknown indicator {self.indicator!r}; "
+                f"expected one of {OUTPUT_NAMES}"
+            )
+        if not np.isfinite(self.max_value) or self.max_value <= 0:
+            raise ValueError(
+                f"constraint on {self.indicator!r} needs a positive finite "
+                f"bound, got {self.max_value}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"indicator": self.indicator, "max_value": float(self.max_value)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Constraint":
+        if not isinstance(payload, dict):
+            raise ValueError(f"constraint must be an object, got {payload!r}")
+        unknown = sorted(set(payload) - {"indicator", "max_value"})
+        if unknown:
+            raise ValueError(f"constraint has unknown field {unknown[0]!r}")
+        if "indicator" not in payload or "max_value" not in payload:
+            raise ValueError(
+                "constraint needs 'indicator' and 'max_value' fields"
+            )
+        value = payload["max_value"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"constraint max_value must be a number, got {value!r}"
+            )
+        return cls(indicator=str(payload["indicator"]), max_value=float(value))
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A validated, serializable tuning goal.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`OBJECTIVE_KINDS`.
+    target:
+        The indicator to maximize (must name one of
+        :data:`~repro.workload.service.OUTPUT_NAMES`).
+    constraints:
+        Upper bounds on predicted indicators; mandatory semantics for
+        ``slo`` (an ``slo`` objective without constraints is rejected).
+    penalty_weight:
+        Score units removed per second of constraint violation, scaled
+        by the target's magnitude (see
+        :class:`~repro.analysis.tuning.ScoringFunction`).
+    thread_cost:
+        For ``cost``: score units charged per provisioned thread across
+        the three pools.  Must be 0 for other kinds.
+    """
+
+    kind: str = "max_throughput"
+    target: str = "effective_tps"
+    constraints: Tuple[Constraint, ...] = field(default_factory=tuple)
+    penalty_weight: float = 10.0
+    thread_cost: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in OBJECTIVE_KINDS:
+            raise ValueError(
+                f"unknown objective kind {self.kind!r}; "
+                f"expected one of {OBJECTIVE_KINDS}"
+            )
+        if self.target not in OUTPUT_NAMES:
+            raise ValueError(
+                f"unknown target indicator {self.target!r}; "
+                f"expected one of {OUTPUT_NAMES}"
+            )
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        seen = set()
+        for constraint in self.constraints:
+            if not isinstance(constraint, Constraint):
+                raise ValueError(
+                    f"constraints must be Constraint instances, "
+                    f"got {constraint!r}"
+                )
+            if constraint.indicator in seen:
+                raise ValueError(
+                    f"duplicate constraint on {constraint.indicator!r}"
+                )
+            seen.add(constraint.indicator)
+        if self.kind == "slo" and not self.constraints:
+            raise ValueError("an 'slo' objective needs at least one constraint")
+        if self.penalty_weight < 0:
+            raise ValueError(
+                f"penalty_weight must be non-negative, "
+                f"got {self.penalty_weight}"
+            )
+        if self.thread_cost < 0:
+            raise ValueError(
+                f"thread_cost must be non-negative, got {self.thread_cost}"
+            )
+        if self.thread_cost and self.kind != "cost":
+            raise ValueError(
+                f"thread_cost applies only to 'cost' objectives, "
+                f"not {self.kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def scoring_function(self) -> ScoringFunction:
+        """The indicator-only part as the advisor's scoring function."""
+        return ScoringFunction(
+            response_limits={
+                c.indicator: c.max_value for c in self.constraints
+            },
+            throughput_indicator=self.target,
+            penalty_weight=self.penalty_weight,
+        )
+
+    def score(
+        self, indicators: Dict[str, float], vector: Sequence[float]
+    ) -> float:
+        """Score one (predicted indicators, configuration) pair."""
+        base = self.scoring_function().score(indicators)
+        if self.thread_cost:
+            vector = np.asarray(vector, dtype=float)
+            base -= self.thread_cost * float(
+                sum(vector[i] for i in _THREAD_INDICES)
+            )
+        return base
+
+    def score_rows(
+        self, outputs: np.ndarray, vectors: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`score` over ``(n, outputs)`` predictions."""
+        outputs = np.asarray(outputs, dtype=float)
+        vectors = np.asarray(vectors, dtype=float)
+        target = outputs[:, OUTPUT_NAMES.index(self.target)]
+        penalty = np.zeros(outputs.shape[0])
+        for constraint in self.constraints:
+            j = OUTPUT_NAMES.index(constraint.indicator)
+            penalty += np.maximum(0.0, outputs[:, j] - constraint.max_value)
+        scores = target - self.penalty_weight * np.abs(target) * penalty
+        if self.thread_cost:
+            scores = scores - self.thread_cost * vectors[
+                :, _THREAD_INDICES
+            ].sum(axis=1)
+        return scores
+
+    def satisfied(self, indicators: Dict[str, float]) -> bool:
+        """Whether every constraint holds for one indicator vector."""
+        return all(
+            indicators[c.indicator] <= c.max_value for c in self.constraints
+        )
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The canonical JSON form (constraints sorted by indicator)."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "constraints": [
+                c.to_dict()
+                for c in sorted(self.constraints, key=lambda c: c.indicator)
+            ],
+            "penalty_weight": float(self.penalty_weight),
+            "thread_cost": float(self.thread_cost),
+        }
+
+    def canonical(self) -> str:
+        """A deterministic string key for caching and deduplication."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Objective":
+        """Parse and validate the wire form; raises ``ValueError``."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"objective must be an object, got {payload!r}")
+        allowed = {
+            "kind", "target", "constraints", "penalty_weight", "thread_cost",
+        }
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ValueError(f"objective has unknown field {unknown[0]!r}")
+        constraints = payload.get("constraints", [])
+        if not isinstance(constraints, (list, tuple)):
+            raise ValueError("objective 'constraints' must be a list")
+        for name in ("penalty_weight", "thread_cost"):
+            if name in payload:
+                value = payload[name]
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(
+                        f"objective {name} must be a number, got {value!r}"
+                    )
+        return cls(
+            kind=str(payload.get("kind", "max_throughput")),
+            target=str(payload.get("target", "effective_tps")),
+            constraints=tuple(
+                Constraint.from_dict(c) for c in constraints
+            ),
+            penalty_weight=float(payload.get("penalty_weight", 10.0)),
+            thread_cost=float(payload.get("thread_cost", 0.0)),
+        )

@@ -11,6 +11,7 @@ a :class:`~repro.workload.dataset.Dataset`, optionally cached on disk.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
@@ -90,12 +91,22 @@ class ConfigSpace:
         return len(self.ranges)
 
     def clip(self, vector: np.ndarray) -> np.ndarray:
-        """Clamp a configuration vector into the space."""
+        """Clamp a configuration vector into the space.
+
+        Integer parameters land on an integer *inside* the declared
+        bounds (``ceil(low) .. floor(high)``) — plain round-after-clamp
+        could push a value like 2.4 back below a ``low`` of 2.6.  A
+        fractional integer range containing no integer at all falls back
+        to the clamped float.
+        """
         vector = np.asarray(vector, dtype=float).copy()
         for j, r in enumerate(self.ranges):
-            vector[j] = min(max(vector[j], r.low), r.high)
+            value = min(max(vector[j], r.low), r.high)
             if r.integer:
-                vector[j] = round(vector[j])
+                lo, hi = math.ceil(r.low), math.floor(r.high)
+                if lo <= hi:
+                    value = float(min(max(round(value), lo), hi))
+            vector[j] = value
         return vector
 
 
