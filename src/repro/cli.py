@@ -46,7 +46,11 @@ __all__ = [
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
-    """The ``repro-serve`` entry point (lazy import keeps startup light)."""
+    """The ``repro-serve`` entry point (lazy import keeps startup light).
+
+    ``repro-serve --workers N`` scales out to N supervised inference
+    worker processes (crash isolation, failover routing); without it the
+    in-process engine serves — see :mod:`repro.cluster`."""
     from .serving.server import main as _serve
 
     return _serve(argv)

@@ -1,0 +1,128 @@
+"""Model → worker routing: rendezvous hashing with hot-model replication.
+
+Every model name owns an ordered *replica set* of workers, computed by
+rendezvous (highest-random-weight) hashing: score every worker against the
+model name with a keyed hash, sort descending, take the top ``replication``.
+The properties that matter here:
+
+* **Deterministic and coordination-free** — the router holds no table; any
+  process hashing the same names gets the same answer.
+* **Minimal disruption** — when a worker dies, only the models that had it
+  in their replica set move, and they move to the next-highest scorer
+  rather than reshuffling the whole ring (the classic consistent-hashing
+  win, without maintaining a ring).
+* **Ordered failover** — the replica list is a preference order: requests
+  go to the primary (highest score), and a crash mid-flight retries on
+  the next sibling in the same set, which — because workers preload every
+  artifact — is guaranteed warm.
+
+Hot models get a wider set: the router tracks per-model request counts,
+and a model taking more than ``hot_share`` of recent traffic (once enough
+requests have been seen) is replicated across ``hot_replication`` workers
+instead of ``replication`` — the skewed-popularity regime the multi-server
+queueing literature assumes away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, List, Sequence
+
+__all__ = ["RendezvousRouter"]
+
+
+def _score(model: str, worker_id: int) -> int:
+    digest = hashlib.blake2b(
+        f"{model}|{worker_id}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RendezvousRouter:
+    """Order workers per model; widen the set for hot models.
+
+    Parameters
+    ----------
+    replication:
+        Replica-set size for a normal model (primary + siblings).
+    hot_replication:
+        Replica-set size once a model is hot; defaults to
+        ``replication + 1``.
+    hot_share / hot_min_requests:
+        A model is hot when it has taken at least ``hot_share`` of all
+        requests counted so far and at least ``hot_min_requests`` of its
+        own — both guards, so a cold start or a niche model never
+        triggers extra replication.
+    """
+
+    def __init__(
+        self,
+        replication: int = 2,
+        hot_replication: int = 0,
+        hot_share: float = 0.5,
+        hot_min_requests: int = 256,
+    ):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = int(replication)
+        self.hot_replication = int(hot_replication) or self.replication + 1
+        if self.hot_replication < self.replication:
+            raise ValueError(
+                f"hot_replication ({self.hot_replication}) must be >= "
+                f"replication ({self.replication})"
+            )
+        self.hot_share = float(hot_share)
+        self.hot_min_requests = int(hot_min_requests)
+        self._counts: Dict[str, int] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def record(self, model: str) -> None:
+        """Count one request against ``model`` (drives hot detection)."""
+        with self._lock:
+            self._counts[model] = self._counts.get(model, 0) + 1
+            self._total += 1
+
+    def is_hot(self, model: str) -> bool:
+        """Whether ``model`` currently earns the wider replica set."""
+        with self._lock:
+            count = self._counts.get(model, 0)
+            total = self._total
+        return (
+            count >= self.hot_min_requests
+            and total > 0
+            and count / total >= self.hot_share
+        )
+
+    def replicas(self, model: str, workers: Sequence[int]) -> List[int]:
+        """Preference-ordered replica set for ``model`` among ``workers``.
+
+        ``workers`` is the currently-ready pool; dead workers simply are
+        not offered, so failover falls out of the scoring order with no
+        extra state.  Returns at most the (possibly hot-widened)
+        replication factor, and every ready worker when the pool is
+        smaller than that.
+        """
+        if not workers:
+            return []
+        k = (
+            self.hot_replication if self.is_hot(model) else self.replication
+        )
+        ranked = sorted(
+            workers, key=lambda w: _score(model, w), reverse=True
+        )
+        return ranked[: max(1, k)]
+
+    def counts(self) -> Dict[str, int]:
+        """Snapshot of the per-model request counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RendezvousRouter(replication={self.replication}, "
+            f"hot_replication={self.hot_replication})"
+        )

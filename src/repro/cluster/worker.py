@@ -1,0 +1,190 @@
+"""The inference worker process: ``python -m repro.cluster.worker``.
+
+One worker = one OS process owning its own :class:`ModelRegistry` over the
+shared artifact directory.  The process boundary is the bulkhead the
+in-process serving stack cannot offer: a segfault, an OOM kill, or a
+wedged NumPy call takes down *this* worker's in-flight requests and
+nothing else — the router retries them on a sibling replica while the
+supervisor restarts the corpse.
+
+Lifecycle contract
+------------------
+1. **Preload before ready.**  Every artifact in the models directory is
+   materialized *before* the ``ready`` frame is sent, so the supervisor
+   never routes traffic to a worker that would stall it on a cold parse.
+   A restarted worker therefore picks up whatever artifact versions are
+   on disk at restart time — a promote that lands mid-restart is simply
+   what the new process loads (and per-request mtime checks hot-reload
+   anything promoted later).
+2. **Single-threaded request loop.**  Frames are answered strictly in
+   order on one socket; the parent serializes access, so there is no
+   multiplexing to get wrong.  ``ping`` answers double as heartbeats.
+3. **Fault injection runs in-process.**  A :class:`FaultPlan` shipped as
+   JSON via ``--faults`` fires at the ``worker.handle`` site before each
+   request: ``kill_worker`` SIGKILLs this process mid-flight,
+   ``hang_worker`` wedges it (alive for ``waitpid``, dead for
+   heartbeats), ``slow_worker`` injects latency.  This is how the chaos
+   tests die on schedule.
+4. **Drain on request.**  The ``drain`` op acknowledges and exits 0 —
+   the per-worker half of the server's SIGTERM / ``/admin/drain`` path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..reliability.faults import SITE_WORKER_HANDLE, FaultPlan
+from ..serving.registry import ModelRegistry
+from .protocol import (
+    ProtocolError,
+    pack_array,
+    recv_frame,
+    send_frame,
+    unpack_array,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description="Inference worker child process (spawned by the "
+                    "cluster supervisor; not meant to be run by hand).",
+    )
+    parser.add_argument("--models-dir", required=True)
+    parser.add_argument("--socket-fd", type=int, required=True,
+                        help="inherited fd of the supervisor socketpair end")
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument("--faults", default=None,
+                        help="JSON FaultPlan.to_dict() for worker-side "
+                             "chaos (kill/hang/slow kill points)")
+    return parser
+
+
+def _preload(registry: ModelRegistry) -> List[str]:
+    """Materialize every artifact; returns the names that loaded."""
+    loaded = []
+    for name in registry.list_models():
+        try:
+            registry.get(name)
+        except Exception:  # noqa: BLE001 - serve the healthy majority
+            continue
+        loaded.append(name)
+    return loaded
+
+
+def _handle_predict(
+    registry: ModelRegistry, header: dict, payload: bytes, worker_id: int
+) -> Tuple[dict, bytes]:
+    """One predict frame → (response header, response payload)."""
+    started = time.perf_counter()
+    deadline_ms = header.get("deadline_ms")
+    if deadline_ms is not None and float(deadline_ms) <= 0:
+        return {
+            "ok": False, "kind": "DeadlineExceeded",
+            "error": "deadline exhausted before the worker ran",
+        }, b""
+    model_name = header["model"]
+    x = unpack_array(payload, int(header["n"]), int(header["d"]))
+    try:
+        model = registry.get(model_name)
+    except KeyError:
+        return {
+            "ok": False, "kind": "KeyError",
+            "error": f"unknown model {model_name!r}",
+        }, b""
+    predict_started = time.perf_counter()
+    outputs = np.asarray(model.predict(x), dtype=float)
+    predict_s = time.perf_counter() - predict_started
+    return {
+        "ok": True,
+        "op": "predict",
+        "n": int(outputs.shape[0]),
+        "m": int(outputs.shape[1]),
+        "predict_s": predict_s,
+        "handle_s": time.perf_counter() - started,
+        "source": "mlp",
+        "worker": worker_id,
+    }, pack_array(outputs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    faults = None
+    if args.faults:
+        faults = FaultPlan.from_dict(json.loads(args.faults))
+    sock = socket.socket(fileno=args.socket_fd)
+    registry = ModelRegistry(args.models_dir)
+    loaded = _preload(registry)
+    served = 0
+    send_frame(sock, {
+        "op": "ready",
+        "worker": args.worker_id,
+        "pid": os.getpid(),
+        "models": loaded,
+    })
+    while True:
+        try:
+            header, payload = recv_frame(sock, timeout=None)
+        except (ProtocolError, OSError):
+            # The supervisor died or closed the channel; nothing to serve.
+            return 0
+        op = header.get("op")
+        try:
+            if op == "predict":
+                # The kill point fires mid-flight, after the request is on
+                # this worker's plate — the worst moment to die.
+                if faults is not None:
+                    faults.fire(SITE_WORKER_HANDLE)
+                response, out_payload = _handle_predict(
+                    registry, header, payload, args.worker_id
+                )
+                served += 1
+            elif op == "ping":
+                response, out_payload = {
+                    "ok": True,
+                    "op": "pong",
+                    "worker": args.worker_id,
+                    "pid": os.getpid(),
+                    "served": served,
+                    "models": registry.loaded_models(),
+                }, b""
+            elif op == "reload":
+                name = header.get("model")
+                names = [name] if name else registry.list_models()
+                for model_name in names:
+                    registry.reload(model_name)
+                response, out_payload = {"ok": True, "op": "reload"}, b""
+            elif op == "drain":
+                send_frame(sock, {
+                    "ok": True, "op": "drained", "served": served,
+                })
+                return 0
+            else:
+                response, out_payload = {
+                    "ok": False, "kind": "ProtocolError",
+                    "error": f"unknown op {op!r}",
+                }, b""
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            response, out_payload = {
+                "ok": False,
+                "kind": type(exc).__name__,
+                "error": str(exc),
+            }, b""
+        try:
+            send_frame(sock, response, out_payload)
+        except OSError:
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

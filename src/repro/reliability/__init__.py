@@ -29,6 +29,7 @@ from .faults import (
     SITE_REGISTRY_STAT,
     SITE_STORE_PROMOTE,
     SITE_STORE_SAVE,
+    SITE_WORKER_HANDLE,
     FaultPlan,
     FaultRule,
     InjectedFault,
@@ -76,4 +77,5 @@ __all__ = [
     "SITE_STORE_PROMOTE",
     "SITE_JOURNAL_APPEND",
     "SITE_JOURNAL_COMPACT",
+    "SITE_WORKER_HANDLE",
 ]

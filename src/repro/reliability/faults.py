@@ -25,6 +25,9 @@ site                      fired by
 ``journal.compact``       :meth:`Journal.compact <repro.durability.journal.Journal.compact>`
                           after the merged segment is written, before the
                           old segments are removed
+``worker.handle``         :func:`repro.cluster.worker.main` before each
+                          request is handled *inside the worker process*
+                          (the worker-level kill points land here)
 ========================  ====================================================
 
 A :class:`FaultPlan` maps sites to :class:`FaultRule`\\ s.  Rules fire by
@@ -57,6 +60,22 @@ Fault kinds
     allowed to swallow, so whatever on-disk state exists at that instant
     is exactly what a killed process would leave behind.  The chaos
     harness catches it at the top and "restarts" by running recovery.
+``kill_worker``
+    ``SIGKILL`` the *current process* — meaningful only inside a cluster
+    worker (site ``worker.handle``), where it simulates a segfault or
+    OOM-kill mid-request.  The supervisor must detect the death, fail
+    over the in-flight request, and restart the worker.
+``hang_worker``
+    Sleep effectively forever (``latency_s`` when positive, else one
+    hour) — a wedged worker: alive by ``waitpid``, dead by heartbeat.
+``slow_worker``
+    Sleep ``latency_s`` before handling — a degraded-but-correct worker
+    (CPU contention, page-cache miss storm).
+
+Because cluster workers are separate processes, a plan meant for them is
+shipped as JSON (:meth:`FaultPlan.to_dict` on the parent side,
+:meth:`FaultPlan.from_dict` in the worker).  A restarted worker receives
+the same plan with fresh hit counters.
 """
 
 from __future__ import annotations
@@ -64,6 +83,7 @@ from __future__ import annotations
 import errno
 import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -79,6 +99,7 @@ __all__ = [
     "SITE_STORE_PROMOTE",
     "SITE_JOURNAL_APPEND",
     "SITE_JOURNAL_COMPACT",
+    "SITE_WORKER_HANDLE",
     "FAULT_KINDS",
     "InjectedFault",
     "SimulatedCrash",
@@ -94,6 +115,7 @@ SITE_STORE_SAVE = "store.save"
 SITE_STORE_PROMOTE = "store.promote"
 SITE_JOURNAL_APPEND = "journal.append"
 SITE_JOURNAL_COMPACT = "journal.compact"
+SITE_WORKER_HANDLE = "worker.handle"
 
 FAULT_KINDS = (
     "latency",
@@ -103,7 +125,15 @@ FAULT_KINDS = (
     "partial_write",
     "disk_full",
     "crash_at",
+    "kill_worker",
+    "hang_worker",
+    "slow_worker",
 )
+
+#: Sleep used by ``hang_worker`` when no explicit ``latency_s`` is given —
+#: long enough to trip any reasonable heartbeat, short enough that a leaked
+#: worker cannot outlive a CI job by much.
+_HANG_FOREVER_S = 3600.0
 
 
 class InjectedFault(RuntimeError):
@@ -168,6 +198,31 @@ class FaultRule:
         """Whether the rule has fired its full budget."""
         return self.count is not None and self.fired >= self.count
 
+    def to_dict(self) -> dict:
+        """Wire form (excludes the runtime ``fired`` counter)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "after": self.after,
+            "count": self.count,
+            "probability": self.probability,
+            "latency_s": self.latency_s,
+            "skew_s": self.skew_s,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output (validates fields)."""
+        known = {
+            "site", "kind", "after", "count", "probability",
+            "latency_s", "skew_s", "message",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultRule field {unknown[0]!r}")
+        return cls(**payload)
+
 
 class FaultPlan:
     """A seedable schedule of faults, consulted at named injection sites.
@@ -191,10 +246,31 @@ class FaultPlan:
     ):
         self.rules: List[FaultRule] = list(rules or [])
         self.enabled = True
+        self.seed = int(seed)
         self._hits: Dict[str, int] = {}
         self._rng = random.Random(seed)
         self._sleep = sleep
         self._lock = threading.Lock()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form — how a plan ships to worker processes.
+
+        Hit counters are deliberately excluded: the receiving process
+        starts a fresh schedule, which is exactly what a restarted worker
+        should see.
+        """
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            rules=[FaultRule.from_dict(r) for r in payload.get("rules", [])],
+            seed=int(payload.get("seed", 0)),
+        )
 
     # ------------------------------------------------------------------
 
@@ -255,6 +331,17 @@ class FaultPlan:
             elif rule.kind == "crash_at":
                 # A crash preempts everything else scheduled at this hit.
                 raise SimulatedCrash(site, rule.message or None)
+            elif rule.kind == "kill_worker":
+                # A real SIGKILL of the current process: no cleanup, no
+                # atexit, no flushed buffers — only meaningful inside a
+                # cluster worker whose supervisor will notice the death.
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif rule.kind == "hang_worker":
+                self._sleep(
+                    rule.latency_s if rule.latency_s > 0 else _HANG_FOREVER_S
+                )
+            elif rule.kind == "slow_worker":
+                self._sleep(rule.latency_s)
             elif rule.kind == "error":
                 error = InjectedFault(site, rule.message or None)
         if error is not None:

@@ -15,7 +15,7 @@ over HTTP (``repro-serve``).  Everything is stdlib + NumPy.
 
 from .batcher import BatcherClosedError, MicroBatcher
 from .cache import PredictionCache
-from .client import ServingClient, ServingError
+from .client import ServingClient, ServingError, TruncatedResponseError
 from .engine import PredictionResult, ServingEngine
 from .metrics import ServingMetrics
 from .registry import ModelRegistry, RegistryEntry
@@ -34,4 +34,5 @@ __all__ = [
     "create_server",
     "ServingClient",
     "ServingError",
+    "TruncatedResponseError",
 ]

@@ -140,6 +140,10 @@ class MicroBatcher:
         self.items_run = 0
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._cond = threading.Condition()
+        #: Makes check-closed + enqueue atomic against close(): the
+        #: shutdown sentinel is guaranteed to be the last item admitted,
+        #: so no raced submit can strand a future behind it.
+        self._admission = threading.Lock()
         self._closed = False
         self._drain = False
         self._worker = threading.Thread(
@@ -152,18 +156,15 @@ class MicroBatcher:
     def submit(self, vector: Sequence[float]) -> PredictionFuture:
         """Enqueue one query; returns immediately with its future."""
         if self._closed:
+            # Lock-free fast path: once closed is visible, stay closed.
             raise BatcherClosedError("submit() on a closed MicroBatcher")
         future = PredictionFuture(
             np.asarray(vector, dtype=float).ravel(), self._cond
         )
-        self._queue.put(future)
-        if self._closed and not self._drain:
-            # close() raced us: its fail-pending pass may already have
-            # run, so make sure this future cannot be left waiting behind
-            # the sentinel.  (In drain mode the worker — and close()'s
-            # post-join drain pass — will complete raced submissions
-            # instead.)
-            self._fail_pending()
+        with self._admission:
+            if self._closed:
+                raise BatcherClosedError("submit() on a closed MicroBatcher")
+            self._queue.put(future)
         return future
 
     def predict(
@@ -189,20 +190,19 @@ class MicroBatcher:
 
         With ``drain=True`` (graceful shutdown) every *already-queued*
         query is completed through ``predict_fn`` before the worker
-        exits; only submissions arriving after the worker has left — or
-        queries stranded by a worker wedged past ``timeout`` — are
-        failed.  New ``submit()`` calls raise immediately in both modes.
+        exits; only queries stranded by a worker wedged past ``timeout``
+        are failed.  New ``submit()`` calls raise immediately in both
+        modes: the admission window closes atomically, so the shutdown
+        sentinel is always the last item in the queue and no concurrent
+        ``submit`` can strand a future behind it.
         """
-        if self._closed:
-            return
-        self._drain = bool(drain)
-        self._closed = True
-        self._queue.put(_SHUTDOWN)
+        with self._admission:
+            if self._closed:
+                return
+            self._drain = bool(drain)
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
         self._worker.join(timeout)
-        if self._drain and not self._worker.is_alive():
-            # The worker drained up to its sentinel and exited cleanly;
-            # complete any submissions that raced past the closed check.
-            self._drain_remaining()
         # Backstop: if the worker is wedged in predict_fn (or already
         # gone), drain from this thread so no caller stays blocked.
         self._fail_pending()

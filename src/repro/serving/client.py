@@ -10,7 +10,12 @@ micro-batcher wait) and an optional
 :class:`~repro.reliability.policies.RetryPolicy` that retries transient
 failures — connection errors and 503s, honouring the server's
 ``Retry-After`` hint — without ever outliving the deadline.  ``/predict``
-is a pure function of its body, so retrying the POST is safe.
+is a pure function of its body, so retrying the POST is safe — but only
+when the failure struck *before* any response bytes arrived.  A
+connection that dies mid-response (the server was killed while writing)
+raises :class:`TruncatedResponseError` instead, which is never retried:
+the server demonstrably accepted and processed the request, so replaying
+it would double-count observations and metrics on whatever replaces it.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from ..observability.trace import NOOP_SPAN, REQUEST_ID_HEADER, Tracer
 from ..reliability.policies import Deadline, RetryPolicy
 from ..workload.service import INPUT_NAMES, OUTPUT_NAMES
 
-__all__ = ["ServingError", "ServingClient"]
+__all__ = ["ServingError", "TruncatedResponseError", "ServingClient"]
 
 #: HTTP statuses worth retrying: the server said "try again later".
 _RETRYABLE_STATUSES = frozenset({503})
@@ -56,9 +61,29 @@ class ServingError(Exception):
         self.request_id = request_id
 
 
+class TruncatedResponseError(OSError):
+    """The connection died *after* response bytes had been received.
+
+    Distinct from a plain connection error on purpose: the server got the
+    request, executed it, and started answering — only the tail of the
+    response was lost.  Retrying would re-execute a request the server
+    already served, so the retry policy must not treat this as transient.
+    """
+
+    def __init__(self, message: str, request_id: Optional[str] = None):
+        if request_id:
+            message += f" (request {request_id})"
+        super().__init__(message)
+        self.request_id = request_id
+
+
 def _is_retryable(exc: BaseException) -> bool:
     if isinstance(exc, ServingError):
         return exc.status in _RETRYABLE_STATUSES
+    if isinstance(exc, TruncatedResponseError):
+        # Response bytes arrived: the server side effects already
+        # happened, so this failure is not safely replayable.
+        return False
     return isinstance(exc, (URLError, ConnectionError, TimeoutError))
 
 
@@ -279,8 +304,13 @@ class ServingClient:
                 headers=request_headers,
                 method=method,
             )
+            response_started = False
             try:
                 with urlopen(request, timeout=timeout) as response:
+                    # urlopen returning means the status line and headers
+                    # were received — from here on, a dead connection is a
+                    # truncated response, not a failed request.
+                    response_started = True
                     return response.read()
             except HTTPError as exc:
                 raw = exc.read()
@@ -298,6 +328,14 @@ class ServingClient:
                 raise ServingError(
                     exc.code, message, retry_after, request_id=request_id
                 ) from None
+            except Exception as exc:
+                if response_started:
+                    raise TruncatedResponseError(
+                        f"connection lost mid-response on {method} {path}: "
+                        f"{type(exc).__name__}: {exc}",
+                        request_id=request_id,
+                    ) from exc
+                raise
 
         outer = (
             self.tracer.start_span(

@@ -67,9 +67,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..models.linear import LinearWorkloadModel
     from ..reliability.faults import FaultPlan
 
-__all__ = ["ServingEngine", "PredictionResult"]
+__all__ = ["ServingEngine", "PredictionResult", "validate_config_matrix"]
 
 _SURROGATE_SOURCE = "surrogate:linear"
+
+
+def validate_config_matrix(configs: Sequence[Sequence[float]]) -> np.ndarray:
+    """Coerce ``configs`` to a validated ``(n, len(INPUT_NAMES))`` matrix.
+
+    The one admission contract every engine front end shares (in-process
+    :class:`ServingEngine` and the multi-process cluster engine alike):
+    two-dimensional, the paper's input order, finite floats.  Raises
+    :class:`ValueError` otherwise.
+    """
+    x = np.asarray(configs, dtype=float)
+    if x.ndim == 1:
+        x = x.reshape(1, -1)
+    if x.ndim != 2 or x.shape[1] != len(INPUT_NAMES):
+        raise ValueError(
+            f"configs must be (n, {len(INPUT_NAMES)}) in "
+            f"{INPUT_NAMES} order, got shape {x.shape}"
+        )
+    if not np.all(np.isfinite(x)):
+        raise ValueError("configs must be finite numbers")
+    return x
 
 
 @dataclass
@@ -280,16 +301,7 @@ class ServingEngine:
             else NOOP_SPAN
         )
         with span:
-            x = np.asarray(configs, dtype=float)
-            if x.ndim == 1:
-                x = x.reshape(1, -1)
-            if x.ndim != 2 or x.shape[1] != len(INPUT_NAMES):
-                raise ValueError(
-                    f"configs must be (n, {len(INPUT_NAMES)}) in "
-                    f"{INPUT_NAMES} order, got shape {x.shape}"
-                )
-            if not np.all(np.isfinite(x)):
-                raise ValueError("configs must be finite numbers")
+            x = validate_config_matrix(configs)
             if span is not NOOP_SPAN:
                 span.set_attribute("model", model_name)
                 span.set_attribute("n_configs", int(x.shape[0]))

@@ -24,9 +24,21 @@ from ..observability.histogram import LatencyHistogram
 from ..reliability.policies import BREAKER_STATES
 from .cache import PredictionCache
 
-__all__ = ["ServingMetrics"]
+__all__ = ["ServingMetrics", "WORKER_STATE_VALUES"]
 
 _QUANTILES = (0.5, 0.95, 0.99)
+
+#: Numeric encoding of cluster worker states for the Prometheus gauge
+#: (mirrors ``repro.cluster.supervisor.WORKER_STATES``; defined here to
+#: keep the metrics layer import-free of the cluster package).
+WORKER_STATE_VALUES = {
+    "starting": 0,
+    "ready": 1,
+    "suspect": 2,
+    "restarting": 3,
+    "failed": 4,
+    "stopped": 5,
+}
 
 
 class ServingMetrics:
@@ -71,6 +83,11 @@ class ServingMetrics:
         self.recommendations_total = 0
         self.recommendation_cache_hits_total = 0
         self.recommendation_search_evals_total = 0
+        # Cluster (repro.cluster) counters and gauges.
+        self.worker_restarts_total = 0
+        self.worker_failovers_total = 0
+        self._worker_states: Dict[str, str] = {}
+        self._worker_queue_depths: Dict[str, int] = {}
         self._drift_scores: Dict[str, float] = {}
         self._breaker_states: Dict[str, str] = {}
         self._latencies = deque(maxlen=int(window))
@@ -166,6 +183,41 @@ class ServingMetrics:
             self.recommendation_search_evals_total += int(evals)
             if cache_hit:
                 self.recommendation_cache_hits_total += 1
+
+    def record_worker_restart(self) -> None:
+        """One cluster worker process respawned by the supervisor."""
+        with self._lock:
+            self.worker_restarts_total += 1
+
+    def record_worker_failover(self) -> None:
+        """One request retried on a sibling replica after a worker failure."""
+        with self._lock:
+            self.worker_failovers_total += 1
+
+    def set_worker_state(self, worker: str, state: str) -> None:
+        """Mirror one cluster worker's lifecycle state into the gauge."""
+        if state not in WORKER_STATE_VALUES:
+            raise ValueError(
+                f"unknown worker state {state!r}; "
+                f"expected one of {sorted(WORKER_STATE_VALUES)}"
+            )
+        with self._lock:
+            self._worker_states[worker] = state
+
+    def worker_states(self) -> Dict[str, str]:
+        """Snapshot of the per-worker state gauge."""
+        with self._lock:
+            return dict(self._worker_states)
+
+    def set_worker_queue_depth(self, worker: str, depth: int) -> None:
+        """Mirror one worker's pending-call count (callers queued or active)."""
+        with self._lock:
+            self._worker_queue_depths[worker] = int(depth)
+
+    def worker_queue_depths(self) -> Dict[str, int]:
+        """Snapshot of the per-worker queue-depth gauge."""
+        with self._lock:
+            return dict(self._worker_queue_depths)
 
     def set_drift_score(self, model: str, score: float) -> None:
         """Mirror one model's latest configuration-drift score."""
@@ -289,6 +341,10 @@ class ServingMetrics:
                 self.recommendation_cache_hits_total,
             "recommendation_search_evals_total":
                 self.recommendation_search_evals_total,
+            "worker_restarts_total": self.worker_restarts_total,
+            "worker_failovers_total": self.worker_failovers_total,
+            "worker_states": self.worker_states(),
+            "worker_queue_depths": self.worker_queue_depths(),
             "drift_scores": self.drift_scores(),
             "breaker_states": self.breaker_states(),
             "latency_seconds": self.latency_quantiles(),
@@ -355,6 +411,37 @@ class ServingMetrics:
         emit("recommendation_search_evals_total", "counter",
              "Model evaluations spent in recommendation searches.",
              self.recommendation_search_evals_total)
+        emit("worker_restarts_total", "counter",
+             "Cluster worker processes respawned.",
+             self.worker_restarts_total)
+        emit("worker_failovers_total", "counter",
+             "Requests retried on a sibling replica.",
+             self.worker_failovers_total)
+        worker_states = self.worker_states()
+        if worker_states:
+            lines.append(
+                f"# HELP {prefix}_worker_state Cluster worker state "
+                "(0=starting, 1=ready, 2=suspect, 3=restarting, 4=failed, "
+                "5=stopped)."
+            )
+            lines.append(f"# TYPE {prefix}_worker_state gauge")
+            for worker in sorted(worker_states):
+                lines.append(
+                    f'{prefix}_worker_state{{worker="{worker}"}} '
+                    f"{WORKER_STATE_VALUES[worker_states[worker]]}"
+                )
+        depths = self.worker_queue_depths()
+        if depths:
+            lines.append(
+                f"# HELP {prefix}_worker_queue_depth In-flight and queued "
+                "calls per cluster worker."
+            )
+            lines.append(f"# TYPE {prefix}_worker_queue_depth gauge")
+            for worker in sorted(depths):
+                lines.append(
+                    f'{prefix}_worker_queue_depth{{worker="{worker}"}} '
+                    f"{depths[worker]}"
+                )
         drift = self.drift_scores()
         if drift:
             lines.append(

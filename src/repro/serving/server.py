@@ -64,6 +64,11 @@ request was traced, its ``X-Trace-Id``.
 
 The server is a ``ThreadingHTTPServer``: each connection gets a thread, and
 concurrent ``/predict`` requests coalesce in the engine's micro-batchers.
+
+With ``--workers N`` the handler stack runs unchanged on top of a
+:class:`~repro.cluster.engine.ClusterEngine` instead: predictions execute
+in N supervised worker processes with crash isolation, sibling failover,
+and surrogate degradation (see :mod:`repro.cluster` and docs/cluster.md).
 """
 
 from __future__ import annotations
@@ -614,7 +619,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
 
 
 def create_server(
-    engine: Union[ServingEngine, str],
+    engine: Union[ServingEngine, str, Path],
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
@@ -623,8 +628,14 @@ def create_server(
     shutdown_marker=None,
     tuner=None,
 ) -> ServingHTTPServer:
-    """Build a server around an engine (or a model-directory path)."""
-    if not isinstance(engine, ServingEngine):
+    """Build a server around an engine (or a model-directory path).
+
+    ``engine`` may be any object implementing the serving-engine duck
+    type — the in-process :class:`ServingEngine` or a started
+    :class:`~repro.cluster.engine.ClusterEngine` alike; a string or path
+    is shorthand for an in-process engine over that directory.
+    """
+    if isinstance(engine, (str, Path)):
         engine = ServingEngine(engine)
     return ServingHTTPServer(
         (host, port),
@@ -675,6 +686,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-batching", action="store_true",
         help="disable cross-request micro-batching",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="serve from this many supervised inference worker processes "
+             "instead of in-process (0 = in-process engine); see "
+             "docs/cluster.md",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=2,
+        help="cluster mode: replica-set size per model (primary + "
+             "failover siblings)",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=5,
+        help="cluster mode: worker restarts allowed per minute before a "
+             "worker is marked failed",
+    )
+    parser.add_argument(
+        "--worker-call-timeout", type=float, default=10.0,
+        help="cluster mode: per-call budget on a worker round trip",
     )
     parser.add_argument(
         "--max-inflight", type=int, default=256,
@@ -765,22 +796,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
         )
     try:
-        engine = ServingEngine(
-            args.models_dir,
-            batching=not args.no_batching,
-            max_batch_size=args.max_batch_size,
-            max_wait_ms=args.max_wait_ms,
-            cache_size=args.cache_size,
-            fallback=not args.no_fallback,
-            max_inflight=args.max_inflight or None,
-            shed_inflight=args.shed_inflight or None,
-            breaker_reset_timeout=args.breaker_reset_timeout,
-            tracing=not args.no_tracing,
-            trace_sample_rate=args.trace_sample_rate,
-            slow_trace_ms=args.slow_trace_ms or None,
-            trace_export=args.trace_export,
-            integrity=guard,
-        )
+        if args.workers > 0:
+            from ..cluster import ClusterEngine
+
+            engine = ClusterEngine(
+                args.models_dir,
+                workers=args.workers,
+                replication=args.replication,
+                call_timeout=args.worker_call_timeout,
+                fallback=not args.no_fallback,
+                max_inflight=args.max_inflight or None,
+                shed_inflight=args.shed_inflight or None,
+                tracing=not args.no_tracing,
+                trace_sample_rate=args.trace_sample_rate,
+                slow_trace_ms=args.slow_trace_ms or None,
+                trace_export=args.trace_export,
+                supervisor_options={"restart_budget": args.restart_budget},
+            ).start()
+        else:
+            engine = ServingEngine(
+                args.models_dir,
+                batching=not args.no_batching,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                cache_size=args.cache_size,
+                fallback=not args.no_fallback,
+                max_inflight=args.max_inflight or None,
+                shed_inflight=args.shed_inflight or None,
+                breaker_reset_timeout=args.breaker_reset_timeout,
+                tracing=not args.no_tracing,
+                trace_sample_rate=args.trace_sample_rate,
+                slow_trace_ms=args.slow_trace_ms or None,
+                trace_export=args.trace_export,
+                integrity=guard,
+            )
     except ValueError as exc:
         raise SystemExit(str(exc))
     if guard is not None and guard.tracer is None:
@@ -843,6 +892,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         pass
     models = engine.list_models()
     print(f"Serving {len(models)} model(s) {models} at {server.url}")
+    if args.workers > 0:
+        print(
+            f"Cluster mode: {args.workers} supervised worker process(es), "
+            f"replication {args.replication}"
+        )
     print(
         "POST /predict | POST /recommend | GET /models | GET /healthz "
         "| GET /readyz | GET /metrics | GET /traces | POST /admin/drain"

@@ -249,6 +249,60 @@ class TestMicroBatcher:
         with pytest.raises(ValueError):
             MicroBatcher(lambda b: b, max_wait_ms=-1.0)
 
+    def test_close_drain_vs_concurrent_submit_strands_nothing(self):
+        """Hammer the close(drain=True) admission window.
+
+        Submitter threads race close(): every submit must either be
+        admitted (its future completes with a real result, because drain
+        mode runs everything already queued) or be rejected with
+        BatcherClosedError at the submit call — never accepted and then
+        stranded behind the shutdown sentinel to time out.
+        """
+        from repro.serving import BatcherClosedError
+
+        for round_no in range(20):
+            mb = MicroBatcher(
+                lambda b: b * 2.0, max_batch_size=4, max_wait_ms=1.0
+            )
+            admitted = []
+            rejected = []
+            start = threading.Barrier(5)
+
+            def submitter():
+                start.wait()
+                for i in range(25):
+                    try:
+                        admitted.append(mb.submit([1.0, 2.0, 3.0, 4.0]))
+                    except BatcherClosedError:
+                        rejected.append(i)
+                        return
+
+            threads = [
+                threading.Thread(target=submitter) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+
+            def closer():
+                start.wait()
+                # Land the close mid-hammer, at a different phase each
+                # round so the race window moves around.
+                time.sleep(0.0005 * (round_no % 5))
+                mb.close(drain=True)
+
+            close_thread = threading.Thread(target=closer)
+            close_thread.start()
+            for t in threads:
+                t.join(10.0)
+            close_thread.join(10.0)
+            # Every admitted future resolves with its computed result —
+            # a short timeout here is the stranding detector.
+            for future in admitted:
+                np.testing.assert_allclose(
+                    future.result(5.0), [2.0, 4.0, 6.0, 8.0]
+                )
+            assert len(admitted) + len(rejected) > 0
+
 
 class TestServingMetrics:
     def test_counters_and_occupancy(self):

@@ -6,13 +6,21 @@ query over HTTP — predictions must match the in-memory model bit for bit.
 """
 
 import json
+import socket
+import threading
 
 import numpy as np
 import pytest
 
 from repro.models.neural import NeuralWorkloadModel
 from repro.models.persistence import save_model
-from repro.serving import ServingClient, ServingEngine, ServingError
+from repro.reliability.policies import RetryPolicy
+from repro.serving import (
+    ServingClient,
+    ServingEngine,
+    ServingError,
+    TruncatedResponseError,
+)
 from repro.serving.server import create_server
 from repro.workload.sampler import (
     ConfigSpace,
@@ -184,3 +192,161 @@ class TestValidation:
         with pytest.raises(ServingError):
             client.predict("absent", GOOD_CONFIG)
         assert client.metrics()["errors_total"] == before + 1
+
+
+class _ScriptedServer:
+    """A raw TCP server whose connections run scripted failure modes.
+
+    ``scripts[i]`` handles connection ``i`` (the last script repeats);
+    each is a callable ``(conn, request_bytes) -> None`` where
+    ``request_bytes`` is the full HTTP request (headers + body), or
+    ``b""`` for scripts flagged ``noread`` that slam the door first.
+    """
+
+    def __init__(self, scripts):
+        self.scripts = scripts
+        self.connections = 0
+        self.requests_seen = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.url = f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            index = min(self.connections, len(self.scripts) - 1)
+            self.connections += 1
+            script = self.scripts[index]
+            try:
+                if getattr(script, "noread", False):
+                    script(conn, b"")
+                else:
+                    script(conn, self._read_request(conn))
+                    self.requests_seen += 1
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    @staticmethod
+    def _read_request(conn):
+        conn.settimeout(5.0)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return data
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(body) < length:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            body += chunk
+        return data
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def _truncate_mid_response(conn, _request):
+    """Answer the status line and headers, then die mid-body — the wire
+    shape of a server SIGKILL'd while writing its response."""
+    conn.sendall(
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: 100\r\n"
+        b"\r\n"
+        b'{"partial'
+    )
+
+
+def _refuse_silently(conn, _request):
+    """Close before a single response byte — a pre-response failure."""
+    conn.close()
+
+
+_refuse_silently.noread = True
+
+
+class TestTruncatedResponse:
+    """Satellite: mid-response connection loss must not be retried.
+
+    ``POST /predict`` is a pure function of its body, so connection
+    resets are retryable — but *only* when no response bytes arrived.
+    Once the status line is on the wire the server demonstrably executed
+    the request; replaying it would double-count on whatever replaces
+    the dead server.
+    """
+
+    def test_mid_response_death_raises_and_is_not_retried(self):
+        server = _ScriptedServer([_truncate_mid_response])
+        try:
+            client = ServingClient(
+                server.url,
+                timeout=5.0,
+                retry=RetryPolicy(max_attempts=3, base=0.01, cap=0.02),
+            )
+            with pytest.raises(TruncatedResponseError):
+                client.predict("paper", GOOD_CONFIG)
+            # The retry policy had 2 more attempts in budget; the typed
+            # error must have stopped it after the first request.
+            assert server.requests_seen == 1
+            assert server.connections == 1
+        finally:
+            server.close()
+
+    def test_truncation_is_an_oserror_with_request_id(self):
+        server = _ScriptedServer([_truncate_mid_response])
+        try:
+            client = ServingClient(server.url, timeout=5.0)
+            with pytest.raises(OSError) as err:
+                client.predict("paper", GOOD_CONFIG)
+            assert isinstance(err.value, TruncatedResponseError)
+            assert err.value.request_id
+            assert "mid-response" in str(err.value)
+        finally:
+            server.close()
+
+    def test_pre_response_failure_is_retried(self):
+        body = json.dumps(
+            {"prediction": {name: 1.0 for name in OUTPUT_NAMES}}
+        ).encode()
+
+        def answer(conn, _request):
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+
+        server = _ScriptedServer([_refuse_silently, answer])
+        try:
+            client = ServingClient(
+                server.url,
+                timeout=5.0,
+                retry=RetryPolicy(max_attempts=3, base=0.01, cap=0.02),
+            )
+            prediction = client.predict("paper", GOOD_CONFIG)
+            assert prediction == {name: 1.0 for name in OUTPUT_NAMES}
+            # First connection died before any response byte — safely
+            # replayed on a fresh connection.
+            assert server.connections == 2
+        finally:
+            server.close()
