@@ -31,6 +31,7 @@ setup(
             "repro-lifecycle=repro.cli:lifecycle_main",
             "repro-trace=repro.cli:trace_main",
             "repro-tune=repro.cli:tune_main",
+            "repro-ingest=repro.cli:ingest_main",
         ]
     },
 )

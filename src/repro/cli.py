@@ -42,6 +42,7 @@ __all__ = [
     "lifecycle_main",
     "trace_main",
     "tune_main",
+    "ingest_main",
 ]
 
 
@@ -75,6 +76,13 @@ def tune_main(argv: Optional[List[str]] = None) -> int:
     from .tuning.cli import main as _tune
 
     return _tune(argv)
+
+
+def ingest_main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro-ingest`` entry point (lazy import, same pattern)."""
+    from .traces.cli import main as _ingest
+
+    return _ingest(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -23,6 +23,7 @@ Two producers feed it:
 
 from __future__ import annotations
 
+import csv
 import json
 import threading
 from collections import deque
@@ -103,6 +104,18 @@ def _vector(values: Optional[Sequence[float]]) -> Optional[Tuple[float, ...]]:
     if isinstance(values, np.ndarray):
         return tuple(values.ravel().tolist())
     return tuple(map(float, values))
+
+
+def _service_from_vector(values: Optional[Tuple[float, ...]]) -> Optional[float]:
+    """Mean response time out of an indicator vector (None when absent).
+
+    Vectors with >= 2 components are read as response times followed by a
+    throughput figure (:data:`repro.workload.service.OUTPUT_NAMES` order),
+    so the last component is excluded from the mean."""
+    if not values:
+        return None
+    rts = values[:-1] if len(values) >= 2 else values
+    return float(sum(rts) / len(rts))
 
 
 #: Group-commit threshold: journal batches flush once the pending lines
@@ -392,6 +405,51 @@ class ObservationLog:
             np.array([r[1] for r in rows], dtype=float),
             np.array([r[3] for r in rows], dtype=float),
         )
+
+    def export_trace(
+        self,
+        path: Union[str, Path],
+        model: Optional[str] = None,
+        time_scale: float = 1.0,
+    ) -> int:
+        """Dump the resident observations as a CSV job trace.
+
+        Each observation becomes one ``timestamp,class,service_time`` row
+        in the canonical trace interchange format, re-ingestible by
+        :func:`repro.traces.etl.ingest` — the bridge from captured serving
+        traffic back into the trace-driven scenario factory.  The
+        timestamp is the observation's sequence number times
+        ``time_scale`` (monotone by construction), the class is the model
+        name, and the service time is the mean of the measured
+        response-time indicators (the measured vector is read in
+        ``OUTPUT_NAMES`` order — response times then throughput — so the
+        last component is excluded when there are at least two; the
+        prediction stands in when no measurement was captured, and rows
+        with neither carry no duration).  Returns the number of rows
+        written.
+        """
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        from ..traces.etl import CSV_HEADER
+
+        rows = self._rows(model)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CSV_HEADER)
+            for model_name, _config, predicted, measured, _source, seq in rows:
+                service = _service_from_vector(measured)
+                if service is None:
+                    service = _service_from_vector(predicted)
+                writer.writerow(
+                    [
+                        f"{seq * time_scale:.6f}",
+                        model_name,
+                        "" if service is None else f"{service:.9g}",
+                    ]
+                )
+        return len(rows)
 
     # ------------------------------------------------------------------
     # lifecycle / persistence

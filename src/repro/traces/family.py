@@ -1,0 +1,395 @@
+"""Scenario emission: compile a fitted trace into a first-class scenario.
+
+The third factory stage.  A :class:`ScenarioFamily` packages what the fit
+stage learned — per-class service distributions, the pooled arrival
+process, and the piecewise-window rate profile — into the same currency
+the rest of the system trades in:
+
+* :meth:`ScenarioFamily.classes` returns a validated
+  :class:`~repro.workload.transactions.TransactionClass` mix, so the
+  emitted scenario runs on the *unchanged* simulator, sampler and CLI
+  surfaces;
+* :meth:`ScenarioFamily.register` publishes it into
+  :data:`repro.workload.scenarios.SCENARIOS` next to the hand-written
+  mixes;
+* :meth:`ScenarioFamily.rate_schedule` exposes the trace's time-varying
+  arrival intensity as standard
+  :class:`~repro.workload.disturbances.Disturbance` objects — the
+  piecewise arrival mode the synthetic scenarios do not have — which
+  ``ThreeTierWorkload.run(..., disturbances=...)`` already understands;
+* :meth:`ScenarioFamily.save` / :meth:`ScenarioFamily.load` persist the
+  family as one JSON document so an ingested trace becomes a durable,
+  shareable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..workload.disturbances import Disturbance
+from ..workload.distributions import Deterministic, Distribution
+from ..workload.scenarios import register_scenario
+from ..workload.transactions import TransactionClass, validate_mix
+from .fit import FitResult, TraceFit, WindowFit
+
+__all__ = [
+    "RateStep",
+    "RateSchedule",
+    "ScenarioFamily",
+    "emit_family",
+]
+
+#: JSON document version, bumped on incompatible layout changes.
+_FORMAT_VERSION = 1
+
+#: A negligible CPU sliver so trace classes exercise the CPU scheduler
+#: without distorting the fitted service time (which models the full
+#: request duration as thread-held web I/O).
+_CPU_SLIVER = 1e-5
+
+
+class RateStep(Disturbance):
+    """Set the driver's rate multiplier to an absolute value at ``start``.
+
+    Unlike :class:`~repro.workload.disturbances.TrafficSurge` (which
+    multiplies and later divides), a step *sets* the multiplier — the
+    natural primitive for piecewise-constant trace profiles.  ``restore``
+    puts the multiplier back to 1.0 at the end of the step; interior
+    steps leave restoration to the next step's onset.
+    """
+
+    def __init__(
+        self,
+        start: float,
+        duration: float,
+        multiplier: float,
+        restore: bool = False,
+    ):
+        super().__init__(start, duration)
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be positive, got {multiplier}")
+        self.multiplier = float(multiplier)
+        self.restore = bool(restore)
+
+    def schedule(self, sim, server, driver):
+        def onset():
+            driver.rate_multiplier = self.multiplier
+
+        sim.schedule(self.start, onset)
+        if self.restore:
+
+            def recovery():
+                driver.rate_multiplier = 1.0
+
+            sim.schedule(self.start + self.duration, recovery)
+
+
+@dataclass
+class RateSchedule:
+    """Piecewise-constant arrival-rate profile relative to a base rate."""
+
+    base_rate: float
+    #: ``(start, duration, multiplier)`` triples, contiguous from t = 0.
+    steps: List[tuple] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """End of the last step (0 for an empty schedule)."""
+        if not self.steps:
+            return 0.0
+        start, duration, _ = self.steps[-1]
+        return start + duration
+
+    def multiplier_at(self, t: float) -> float:
+        """The multiplier in effect at time ``t`` (1.0 outside the profile)."""
+        for start, duration, multiplier in self.steps:
+            if start <= t < start + duration:
+                return multiplier
+        return 1.0
+
+    def rate_at(self, t: float) -> float:
+        """Absolute arrival rate at time ``t``."""
+        return self.base_rate * self.multiplier_at(t)
+
+    def disturbances(self, offset: float = 0.0) -> List[RateStep]:
+        """The profile as schedulable disturbances.
+
+        ``offset`` shifts every onset (e.g. by the workload's warm-up so
+        the profile starts with the measurement window).  The final step
+        restores multiplier 1.0, so a simulation longer than the trace
+        falls back to the base rate.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        steps = []
+        for i, (start, duration, multiplier) in enumerate(self.steps):
+            steps.append(
+                RateStep(
+                    start=start + offset,
+                    duration=duration,
+                    multiplier=multiplier,
+                    restore=(i == len(self.steps) - 1),
+                )
+            )
+        return steps
+
+
+def _safe_name(name: str) -> str:
+    """A class-name-safe slug (lowercase, [a-z0-9_])."""
+    slug = re.sub(r"[^a-z0-9_]+", "_", name.lower()).strip("_")
+    return slug or "requests"
+
+
+@dataclass
+class ScenarioFamily:
+    """A named, replayable scenario compiled from one ingested trace."""
+
+    name: str
+    base_rate: float
+    duration: float
+    #: Pooled inter-arrival fit (drives generative replay).
+    interarrival: FitResult
+    #: Pooled service fit; ``None`` when the trace carried no durations
+    #: (classes then fall back to a deterministic placeholder).
+    service: Optional[FitResult]
+    #: Per-class arrival shares, summing to 1.
+    class_weights: Dict[str, float]
+    #: Per-class service fits (subset of ``class_weights`` keys).
+    class_service: Dict[str, FitResult] = field(default_factory=dict)
+    windows: List[WindowFit] = field(default_factory=list)
+    #: Provenance: source path, skip counters, fit diagnostics.
+    source: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("family name must be non-empty")
+        if self.base_rate <= 0:
+            raise ValueError(
+                f"base_rate must be positive, got {self.base_rate}"
+            )
+        if not self.class_weights:
+            raise ValueError("family needs at least one class")
+
+    # ------------------------------------------------------------------
+    # the standard scenario surface
+    # ------------------------------------------------------------------
+
+    @property
+    def scenario_name(self) -> str:
+        """The name used in the scenario registry (``trace:<name>``)."""
+        return f"trace:{self.name}"
+
+    def _service_distribution(self, class_name: str) -> Distribution:
+        fitted = self.class_service.get(class_name, self.service)
+        if fitted is not None:
+            return fitted.distribution()
+        # No durations anywhere in the trace: a deterministic placeholder
+        # sized so the emitted mix still produces sensible utilization.
+        return Deterministic(0.01)
+
+    def classes(self) -> List[TransactionClass]:
+        """The emitted transaction mix (validated, simulator-ready).
+
+        Each trace class becomes a web-facing
+        :class:`~repro.workload.transactions.TransactionClass` whose
+        fitted service time is modelled as thread-held request work
+        (``web_io``) plus a negligible CPU sliver, so the web pool is the
+        contention point exactly as in a front-end request log.
+        """
+        names = sorted(self.class_weights)
+        total = sum(self.class_weights[n] for n in names)
+        classes = []
+        weight_budget = 1.0
+        for i, raw_name in enumerate(names):
+            weight = self.class_weights[raw_name] / total
+            # Make the weights sum to exactly 1.0 despite float division.
+            weight = weight_budget if i == len(names) - 1 else weight
+            weight_budget -= weight
+            service = self._service_distribution(raw_name)
+            mean_service = max(service.mean(), 1e-4)
+            classes.append(
+                TransactionClass(
+                    name=f"trace_{_safe_name(raw_name)}",
+                    mix_weight=weight,
+                    web_cpu=Deterministic(_CPU_SLIVER),
+                    web_io=service,
+                    domain_queue=None,
+                    domain_cpu=Deterministic(0.0),
+                    db_service=Deterministic(0.0),
+                    db_calls=0,
+                    deadline=8.0 * mean_service,
+                )
+            )
+        validate_mix(classes)
+        return classes
+
+    def register(self, overwrite: bool = True) -> str:
+        """Publish into the scenario registry; returns the registered name."""
+        register_scenario(self.scenario_name, self.classes, overwrite=overwrite)
+        return self.scenario_name
+
+    def rate_schedule(self) -> RateSchedule:
+        """The piecewise-window arrival profile relative to ``base_rate``.
+
+        Windows with zero measured rate keep a small positive multiplier
+        (the driver cannot run at rate 0 — it would stop scheduling).
+        """
+        steps = []
+        for window in self.windows:
+            multiplier = max(window.rate / self.base_rate, 1e-3)
+            steps.append((window.start, window.duration, multiplier))
+        return RateSchedule(base_rate=self.base_rate, steps=steps)
+
+    def window_interarrival(self, window: WindowFit) -> Distribution:
+        """The arrival-gap distribution replay uses inside one window.
+
+        The window's own fit when it exists; otherwise the pooled fit
+        rescaled so its mean matches the window's measured rate.
+        """
+        if window.interarrival is not None:
+            return window.interarrival.distribution()
+        pooled = self.interarrival
+        rate = max(window.rate, 1e-9)
+        scale = (1.0 / rate) / max(pooled.mean, 1e-12)
+        params = dict(pooled.params)
+        if pooled.family in ("exponential", "lognormal"):
+            params["mean"] = float(params["mean"]) * scale
+        elif pooled.family == "hyperexponential":
+            params["means"] = [float(m) * scale for m in params["means"]]
+        from .fit import build_distribution
+
+        return build_distribution(pooled.family, params)
+
+    def window_service(self, window: WindowFit) -> Distribution:
+        """The service distribution replay uses inside one window."""
+        if window.service is not None:
+            return window.service.distribution()
+        if self.service is not None:
+            return self.service.distribution()
+        return Deterministic(0.01)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly document (inverse: :meth:`from_dict`)."""
+        return {
+            "format": "repro-scenario-family",
+            "version": _FORMAT_VERSION,
+            "name": self.name,
+            "base_rate": self.base_rate,
+            "duration": self.duration,
+            "interarrival": self.interarrival.to_dict(),
+            "service": None if self.service is None else self.service.to_dict(),
+            "class_weights": dict(sorted(self.class_weights.items())),
+            "class_service": {
+                name: fit.to_dict()
+                for name, fit in sorted(self.class_service.items())
+            },
+            "windows": [w.to_dict() for w in self.windows],
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioFamily":
+        if payload.get("format") != "repro-scenario-family":
+            raise ValueError("not a scenario-family document")
+        if int(payload.get("version", 0)) > _FORMAT_VERSION:
+            raise ValueError(
+                f"scenario-family version {payload['version']} is newer than "
+                f"this reader ({_FORMAT_VERSION})"
+            )
+        return cls(
+            name=str(payload["name"]),
+            base_rate=float(payload["base_rate"]),
+            duration=float(payload["duration"]),
+            interarrival=FitResult.from_dict(payload["interarrival"]),
+            service=(
+                None
+                if payload.get("service") is None
+                else FitResult.from_dict(payload["service"])
+            ),
+            class_weights={
+                str(k): float(v)
+                for k, v in payload["class_weights"].items()
+            },
+            class_service={
+                str(k): FitResult.from_dict(v)
+                for k, v in payload.get("class_service", {}).items()
+            },
+            windows=[
+                WindowFit.from_dict(w) for w in payload.get("windows", [])
+            ],
+            source=dict(payload.get("source", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the family as one JSON document."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScenarioFamily":
+        """Inverse of :meth:`save` (``ValueError`` names a bad file)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise ValueError(
+                f"cannot read scenario family from {path}: {error}"
+            ) from error
+        return cls.from_dict(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScenarioFamily({self.name!r}, rate={self.base_rate:.1f}/s, "
+            f"classes={len(self.class_weights)}, windows={len(self.windows)})"
+        )
+
+
+def emit_family(
+    fit: TraceFit,
+    name: str,
+    class_counts: Optional[Dict[str, int]] = None,
+) -> ScenarioFamily:
+    """Compile a :class:`TraceFit` into a named :class:`ScenarioFamily`.
+
+    ``class_counts`` (normally ``trace.class_counts()``) sets the mix
+    weights; without it the family is single-class.
+    """
+    if fit.mean_rate <= 0:
+        raise ValueError(
+            f"trace {fit.source} has no measurable arrival rate to emit"
+        )
+    if class_counts:
+        weights = {
+            str(cls): float(count)
+            for cls, count in class_counts.items()
+            if count > 0
+        }
+    else:
+        weights = {"requests": 1.0}
+    return ScenarioFamily(
+        name=name,
+        base_rate=fit.mean_rate,
+        duration=fit.duration,
+        interarrival=fit.interarrival,
+        service=fit.service,
+        class_weights=weights,
+        class_service=dict(fit.class_service),
+        windows=list(fit.windows),
+        source={
+            "trace": fit.source,
+            "n_arrivals": fit.n_arrivals,
+            "window_s": fit.window_s,
+            "arrival_cv": fit.arrival_cv,
+            "arrival_verdict": fit.arrival_verdict,
+        },
+    )

@@ -1,0 +1,474 @@
+"""Distribution fitting: MLE over the workload's own families + diagnostics.
+
+The second factory stage.  Inter-arrival gaps and service-time samples
+from the ETL stage are fitted against the families the simulator already
+samples from (:mod:`repro.workload.distributions`):
+
+* **exponential** — closed-form MLE (the sample mean);
+* **lognormal** — closed-form MLE on the log scale;
+* **hyperexponential** — two-branch EM (deterministic initialization, no
+  RNG), for the CV > 1 regimes where a single exponential is provably
+  wrong.
+
+Every candidate gets a Kolmogorov-Smirnov distance against the empirical
+CDF; :func:`fit_best` picks the family with the smallest distance and
+:func:`exponentiality` reports the coefficient of variation — the classic
+first-look diagnostic (CV ~= 1 memoryless, < 1 smooth, > 1 bursty).
+Everything is from scratch on NumPy; no SciPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workload.distributions import (
+    Distribution,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+)
+from .etl import IngestedTrace, TraceWindow
+
+__all__ = [
+    "FitResult",
+    "WindowFit",
+    "TraceFit",
+    "FAMILIES",
+    "fit_family",
+    "fit_best",
+    "build_distribution",
+    "ks_statistic",
+    "ks_threshold",
+    "exponentiality",
+    "fit_trace",
+]
+
+#: Families the factory fits, in preference order on KS ties.
+FAMILIES = ("exponential", "lognormal", "hyperexponential")
+
+#: Minimum samples before a family is attempted at all.
+_MIN_SAMPLES = {"exponential": 2, "lognormal": 3, "hyperexponential": 8}
+
+
+# ----------------------------------------------------------------------
+# goodness of fit
+# ----------------------------------------------------------------------
+
+
+def ks_statistic(samples: np.ndarray, cdf) -> float:
+    """Two-sided Kolmogorov-Smirnov distance sup |F_n(x) - F(x)|."""
+    ordered = np.sort(np.asarray(samples, dtype=float))
+    n = ordered.size
+    if n == 0:
+        raise ValueError("ks_statistic needs at least one sample")
+    theoretical = cdf(ordered)
+    steps = np.arange(1, n + 1) / n
+    d_plus = float(np.max(steps - theoretical))
+    d_minus = float(np.max(theoretical - (steps - 1.0 / n)))
+    return max(d_plus, d_minus, 0.0)
+
+
+def ks_threshold(n: int, alpha: float = 0.05) -> float:
+    """Approximate KS rejection threshold at level ``alpha``.
+
+    The asymptotic ``c(alpha)/sqrt(n)`` form (c(0.05) = 1.358); accurate
+    enough for the n >= 35 sample counts real windows carry.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    coefficient = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    return coefficient / math.sqrt(n)
+
+
+def exponentiality(samples: Sequence[float]) -> Tuple[float, str]:
+    """Coefficient of variation and its verdict.
+
+    Returns ``(cv, verdict)`` with verdict one of ``exponential-like``
+    (CV within 15% of 1), ``smooth`` (CV < 0.85) or ``bursty``
+    (CV > 1.15).
+    """
+    values = np.asarray(samples, dtype=float)
+    if values.size < 2 or values.mean() <= 0:
+        return float("nan"), "insufficient"
+    cv = float(values.std() / values.mean())
+    if cv < 0.85:
+        return cv, "smooth"
+    if cv > 1.15:
+        return cv, "bursty"
+    return cv, "exponential-like"
+
+
+# ----------------------------------------------------------------------
+# family fits
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FitResult:
+    """One fitted family with its diagnostics."""
+
+    family: str
+    params: Dict[str, object]
+    ks_stat: float
+    ks_pass: bool
+    cv: float
+    n: int
+    mean: float
+
+    def distribution(self) -> Distribution:
+        """Materialize the fitted :class:`Distribution`."""
+        return build_distribution(self.family, self.params)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (inverse: :meth:`from_dict`)."""
+        return {
+            "family": self.family,
+            "params": self.params,
+            "ks_stat": self.ks_stat,
+            "ks_pass": self.ks_pass,
+            "cv": self.cv,
+            "n": self.n,
+            "mean": self.mean,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FitResult":
+        return cls(
+            family=str(payload["family"]),
+            params=dict(payload["params"]),
+            ks_stat=float(payload["ks_stat"]),
+            ks_pass=bool(payload["ks_pass"]),
+            cv=float(payload["cv"]),
+            n=int(payload["n"]),
+            mean=float(payload["mean"]),
+        )
+
+
+def build_distribution(family: str, params: Dict[str, object]) -> Distribution:
+    """Reconstruct a fitted distribution from its serialized parameters."""
+    if family == "exponential":
+        return Exponential(mean=float(params["mean"]))
+    if family == "lognormal":
+        return LogNormal(mean=float(params["mean"]), sigma=float(params["sigma"]))
+    if family == "hyperexponential":
+        return Hyperexponential(
+            means=[float(m) for m in params["means"]],
+            weights=[float(w) for w in params["weights"]],
+        )
+    raise KeyError(f"unknown fit family {family!r}; known: {FAMILIES}")
+
+
+def _fit_exponential(samples: np.ndarray) -> Tuple[Dict[str, object], object]:
+    mean = float(samples.mean())
+    scale = max(mean, 1e-12)
+
+    def cdf(x):
+        return 1.0 - np.exp(-np.asarray(x) / scale)
+
+    return {"mean": scale}, cdf
+
+
+def _fit_lognormal(samples: np.ndarray) -> Tuple[Dict[str, object], object]:
+    positive = samples[samples > 0]
+    if positive.size < 2:
+        raise ValueError("lognormal fit needs >= 2 positive samples")
+    logs = np.log(positive)
+    mu = float(logs.mean())
+    sigma = max(float(logs.std()), 1e-6)
+    mean = float(math.exp(mu + 0.5 * sigma * sigma))
+
+    def cdf(x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        mask = x > 0
+        z = (np.log(x[mask]) - mu) / (sigma * math.sqrt(2.0))
+        out[mask] = 0.5 * (1.0 + np.array([math.erf(v) for v in z]))
+        return out
+
+    return {"mean": mean, "sigma": sigma}, cdf
+
+
+def _fit_hyperexponential(
+    samples: np.ndarray, iterations: int = 60, tol: float = 1e-8
+) -> Tuple[Dict[str, object], object]:
+    """Two-branch hyperexponential via EM.
+
+    Initialization is deterministic — the sample median splits the data
+    into a fast and a slow branch — so the fit is bit-reproducible.
+    """
+    if samples.size < 2:
+        raise ValueError("hyperexponential fit needs >= 2 samples")
+    positive = np.maximum(samples, 1e-12)
+    median = float(np.median(positive))
+    fast = positive[positive <= median]
+    slow = positive[positive > median]
+    if not fast.size or not slow.size or fast.mean() == slow.mean():
+        raise ValueError("samples carry no branch structure")
+    means = np.array([fast.mean(), slow.mean()])
+    weights = np.array([fast.size, slow.size], dtype=float)
+    weights /= weights.sum()
+    log_likelihood = -np.inf
+    for _ in range(iterations):
+        # E step: responsibility of each branch for each sample.
+        rates = 1.0 / means
+        densities = weights * rates * np.exp(
+            -np.outer(positive, rates)
+        )  # (n, 2)
+        totals = densities.sum(axis=1, keepdims=True)
+        totals[totals <= 0] = 1e-300
+        resp = densities / totals
+        # M step.
+        mass = resp.sum(axis=0)
+        mass[mass <= 0] = 1e-300
+        means = (resp * positive[:, None]).sum(axis=0) / mass
+        means = np.maximum(means, 1e-12)
+        weights = mass / positive.size
+        new_ll = float(np.log(totals).sum())
+        if abs(new_ll - log_likelihood) < tol:
+            break
+        log_likelihood = new_ll
+    order = np.argsort(means)
+    means = means[order]
+    weights = np.maximum(weights[order], 0.0)
+    weights = weights / weights.sum()
+
+    def cdf(x):
+        x = np.asarray(x, dtype=float)[:, None]
+        return (weights * (1.0 - np.exp(-x / means))).sum(axis=1)
+
+    return (
+        {"means": means.tolist(), "weights": weights.tolist()},
+        cdf,
+    )
+
+
+_FITTERS = {
+    "exponential": _fit_exponential,
+    "lognormal": _fit_lognormal,
+    "hyperexponential": _fit_hyperexponential,
+}
+
+
+def fit_family(samples: Sequence[float], family: str) -> FitResult:
+    """Fit one family by MLE and score it with the KS distance."""
+    if family not in _FITTERS:
+        raise KeyError(f"unknown fit family {family!r}; known: {FAMILIES}")
+    values = np.asarray(samples, dtype=float)
+    values = values[np.isfinite(values) & (values >= 0)]
+    if values.size < _MIN_SAMPLES[family]:
+        raise ValueError(
+            f"{family} fit needs >= {_MIN_SAMPLES[family]} samples, "
+            f"got {values.size}"
+        )
+    params, cdf = _FITTERS[family](values)
+    ks = ks_statistic(values, cdf)
+    mean = values.mean()
+    cv = float(values.std() / mean) if mean > 0 else float("nan")
+    return FitResult(
+        family=family,
+        params=params,
+        ks_stat=ks,
+        ks_pass=ks <= ks_threshold(values.size),
+        cv=cv,
+        n=int(values.size),
+        mean=float(mean),
+    )
+
+
+def fit_best(
+    samples: Sequence[float],
+    families: Sequence[str] = FAMILIES,
+) -> FitResult:
+    """Fit every applicable family and return the lowest-KS winner.
+
+    Families whose sample-count floor is not met (or whose fitter rejects
+    the data, e.g. a branchless hyperexponential) are silently skipped;
+    at least the exponential must be fittable or ``ValueError`` is raised.
+    Ties break in :data:`FAMILIES` order — simplest family wins.
+    """
+    candidates: List[FitResult] = []
+    for family in families:
+        try:
+            candidates.append(fit_family(samples, family))
+        except ValueError:
+            continue
+    if not candidates:
+        raise ValueError(
+            f"no family could be fitted to {len(list(samples))} samples"
+        )
+    return min(candidates, key=lambda r: r.ks_stat)
+
+
+# ----------------------------------------------------------------------
+# per-window fitting over an ingested trace
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WindowFit:
+    """Fitted arrival/service models for one aggregation window."""
+
+    index: int
+    start: float
+    duration: float
+    rate: float
+    count: int
+    interarrival: Optional[FitResult]
+    service: Optional[FitResult]
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "duration": self.duration,
+            "rate": self.rate,
+            "count": self.count,
+            "interarrival": (
+                None if self.interarrival is None else self.interarrival.to_dict()
+            ),
+            "service": None if self.service is None else self.service.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WindowFit":
+        return cls(
+            index=int(payload["index"]),
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+            rate=float(payload["rate"]),
+            count=int(payload["count"]),
+            interarrival=(
+                None
+                if payload.get("interarrival") is None
+                else FitResult.from_dict(payload["interarrival"])
+            ),
+            service=(
+                None
+                if payload.get("service") is None
+                else FitResult.from_dict(payload["service"])
+            ),
+        )
+
+
+@dataclass
+class TraceFit:
+    """The full fit of one ingested trace: pooled + per-window models."""
+
+    source: str
+    n_arrivals: int
+    duration: float
+    mean_rate: float
+    window_s: float
+    #: Pooled inter-arrival fit across the whole trace.
+    interarrival: FitResult
+    #: Pooled service fit (``None`` when the trace carries no durations).
+    service: Optional[FitResult]
+    #: Per-class pooled service fits (classes with enough samples only).
+    class_service: Dict[str, FitResult] = field(default_factory=dict)
+    windows: List[WindowFit] = field(default_factory=list)
+    #: (cv, verdict) of the pooled inter-arrival gaps.
+    arrival_cv: float = float("nan")
+    arrival_verdict: str = "insufficient"
+
+
+def _fit_optional(samples: np.ndarray, families) -> Optional[FitResult]:
+    try:
+        return fit_best(samples, families)
+    except ValueError:
+        return None
+
+
+def fit_trace(
+    trace: IngestedTrace,
+    window_s: Optional[float] = None,
+    families: Sequence[str] = FAMILIES,
+    min_class_samples: int = 20,
+) -> TraceFit:
+    """Fit pooled and per-window models for one ingested trace.
+
+    ``window_s`` defaults to a tenth of the trace duration (bounded to
+    [1s, 3600s]) so short synthetic traces and day-long access logs both
+    get a useful piecewise profile.
+    """
+    if not len(trace):
+        raise ValueError(f"cannot fit an empty trace ({trace.source})")
+    if window_s is None:
+        window_s = min(max(trace.duration / 10.0, 1.0), 3600.0)
+    all_gaps = trace.interarrivals()
+    gaps = all_gaps[all_gaps > 0]
+    # Coarse timestamps (1-second CLF stamps at high request rates) make
+    # most gaps exactly zero; gap-level MLE would then fit the *stamp
+    # resolution*, not the arrival process.  Fall back to a Poisson
+    # process at the measured rate, flagged as "quantized".
+    quantized = trace.zero_gap_fraction() > 0.25
+    if quantized:
+        if trace.mean_rate() <= 0:
+            raise ValueError(
+                f"trace {trace.source} is quantized with no measurable rate"
+            )
+        mean_gap = 1.0 / trace.mean_rate()
+        scale = max(mean_gap, 1e-12)
+        ks = ks_statistic(
+            all_gaps, lambda x: 1.0 - np.exp(-np.asarray(x) / scale)
+        )
+        interarrival = FitResult(
+            family="exponential",
+            params={"mean": mean_gap},
+            ks_stat=ks,
+            ks_pass=False,
+            cv=float("nan"),
+            n=int(all_gaps.size),
+            mean=mean_gap,
+        )
+        cv, verdict = float("nan"), "quantized"
+    else:
+        if gaps.size < 2:
+            raise ValueError(
+                f"trace {trace.source} has {len(trace)} arrivals but no "
+                "positive inter-arrival gaps to fit"
+            )
+        interarrival = fit_best(gaps, families)
+        cv, verdict = exponentiality(gaps)
+    service = _fit_optional(trace.service_samples, families)
+    class_service: Dict[str, FitResult] = {}
+    for name, samples in sorted(trace.class_service_samples().items()):
+        if samples.size >= min_class_samples:
+            fitted = _fit_optional(samples, families)
+            if fitted is not None:
+                class_service[name] = fitted
+    window_fits: List[WindowFit] = []
+    for window in trace.windows(window_s):
+        window_gaps = window.interarrivals()
+        window_gaps = window_gaps[window_gaps > 0]
+        window_fits.append(
+            WindowFit(
+                index=window.index,
+                start=window.start,
+                duration=window.duration,
+                rate=window.rate,
+                count=window.count,
+                # Quantized stamps: leave the window gap model unset so
+                # replay derives it from the window's measured rate.
+                interarrival=(
+                    None if quantized else _fit_optional(window_gaps, families)
+                ),
+                service=_fit_optional(window.service_samples, families),
+            )
+        )
+    return TraceFit(
+        source=trace.source,
+        n_arrivals=len(trace),
+        duration=trace.duration,
+        mean_rate=trace.mean_rate(),
+        window_s=float(window_s),
+        interarrival=interarrival,
+        service=service,
+        class_service=class_service,
+        windows=window_fits,
+        arrival_cv=cv,
+        arrival_verdict=verdict,
+    )

@@ -27,7 +27,13 @@ class StreamRegistry:
     """
 
     def __init__(self, seed: int = 0):
-        self.seed = int(seed)
+        seed = int(seed)
+        if seed < 0:
+            # SeedSequence would otherwise reject this lazily at the first
+            # stream() call with an opaque "expected non-negative integer",
+            # far from the construction site that chose the seed.
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.seed = seed
         self._streams: Dict[str, np.random.Generator] = {}
 
     def stream(self, name: str) -> np.random.Generator:

@@ -15,7 +15,13 @@ from typing import Callable, Dict, List
 from .distributions import Erlang, Hyperexponential, LogNormal, Uniform
 from .transactions import TransactionClass, standard_mix, validate_mix
 
-__all__ = ["SCENARIOS", "scenario", "available_scenarios"]
+__all__ = [
+    "SCENARIOS",
+    "scenario",
+    "available_scenarios",
+    "register_scenario",
+    "unregister_scenario",
+]
 
 
 def _paper() -> List[TransactionClass]:
@@ -113,6 +119,44 @@ SCENARIOS: Dict[str, Callable[[], List[TransactionClass]]] = {
     "batch_heavy": _batch_heavy,
     "bursty_web": _bursty_web,
 }
+
+
+#: Names of the built-in scenarios; dynamic registrations cannot shadow
+#: or remove these.
+_BUILTIN = frozenset(SCENARIOS)
+
+
+def register_scenario(
+    name: str,
+    factory: Callable[[], List[TransactionClass]],
+    overwrite: bool = False,
+) -> None:
+    """Register a scenario family at runtime.
+
+    Trace-emitted scenarios (:mod:`repro.traces`) use this to appear
+    alongside the hand-written mixes — ``scenario(name)`` and every CLI
+    ``--scenario`` flag then accept them.  The factory is validated once
+    eagerly so a broken registration fails at registration time, not at
+    first use.  Built-in names are immutable; re-registering another
+    dynamic name requires ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"scenario name must be a non-empty string, got {name!r}")
+    if name in _BUILTIN:
+        raise ValueError(f"cannot overwrite built-in scenario {name!r}")
+    if name in SCENARIOS and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} is already registered (overwrite=True replaces)"
+        )
+    validate_mix(factory())
+    SCENARIOS[name] = factory
+
+
+def unregister_scenario(name: str) -> bool:
+    """Remove a dynamically-registered scenario; returns whether it existed."""
+    if name in _BUILTIN:
+        raise ValueError(f"cannot unregister built-in scenario {name!r}")
+    return SCENARIOS.pop(name, None) is not None
 
 
 def available_scenarios() -> List[str]:

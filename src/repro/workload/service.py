@@ -338,8 +338,22 @@ class ThreeTierWorkload:
                     deadline=cls.deadline,
                     deadline_met=0,
                 )
+        # Mixes that lack one of the paper's four indicator classes
+        # (e.g. trace-emitted scenarios, see :mod:`repro.traces`) fall
+        # back to the mix-wide mean response time for that indicator, so
+        # the 5-output sample shape survives any class list.
+        if measured:
+            overall_rt = float(
+                np.mean([t.response_time for t in measured])
+            )
+        else:
+            overall_rt = float(self.request_timeout)
         indicators = {
-            output: per_class[cls_name].mean_response_time
+            output: (
+                per_class[cls_name].mean_response_time
+                if cls_name in per_class
+                else overall_rt
+            )
             for output, cls_name in _RT_CLASS_FOR_OUTPUT.items()
         }
         indicators["effective_tps"] = effective / window

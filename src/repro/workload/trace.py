@@ -148,8 +148,18 @@ class TraceDriver:
         self._stopped = False
 
     def start(self) -> None:
-        """Schedule every trace arrival."""
-        for arrival in self.trace:
+        """Schedule every trace arrival.
+
+        Must be called while the clock is at or before the first arrival;
+        otherwise ``sim.schedule`` would be asked for a negative delay and
+        the error would surface far from the cause."""
+        arrivals = list(self.trace)
+        if arrivals and arrivals[0].time < self.sim.now:
+            raise ValueError(
+                f"cannot replay a trace starting at t={arrivals[0].time:g} "
+                f"when the simulation clock is already at t={self.sim.now:g}"
+            )
+        for arrival in arrivals:
             self.sim.schedule(
                 arrival.time - self.sim.now,
                 lambda arrival=arrival: self._inject(arrival),

@@ -257,6 +257,18 @@ class TestTrace:
         with pytest.raises(ValueError):
             ArrivalTrace([(1.0, "a"), (0.5, "a")])
 
+    def test_mid_run_start_rejected(self):
+        # Regression: starting a replay after the clock passed the first
+        # arrival used to surface as an opaque negative-delay scheduling
+        # error from deep inside the simulator.
+        trace = ArrivalTrace([(0.5, "dealer_browse")])
+        sim, streams, server = _serving_stack()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(2.0)
+        replay = TraceDriver(sim, standard_mix(), trace, server.handle)
+        with pytest.raises(ValueError, match="clock is already"):
+            replay.start()
+
 
 class TestResiduals:
     def test_unbiased_clean_fit_not_flagged(self, rng):

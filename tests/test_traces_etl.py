@@ -1,0 +1,204 @@
+"""ETL stage: streaming parsers, skip-and-count, windowing."""
+
+import numpy as np
+import pytest
+
+from repro.traces.etl import (
+    CSV_HEADER,
+    IngestedTrace,
+    IngestStats,
+    TraceRecord,
+    ingest,
+    iter_clf,
+    iter_csv,
+    parse_clf_line,
+)
+
+CLF_LINE = (
+    '10.0.0.7 - - [14/Nov/2023:22:13:20 +0000] '
+    '"GET /browse/item42 HTTP/1.1" 200 1234 0.042'
+)
+CLF_COMBINED = (
+    '10.0.0.7 - frank [14/Nov/2023:22:13:21 +0000] '
+    '"POST /checkout HTTP/1.1" 302 512 '
+    '"http://example.com/cart" "Mozilla/5.0" 0.118'
+)
+CLF_NO_DURATION = (
+    '10.0.0.8 - - [14/Nov/2023:22:13:22 +0000] '
+    '"GET /manage HTTP/1.1" 200 99'
+)
+
+
+class TestClfParsing:
+    def test_basic_line(self):
+        record = parse_clf_line(CLF_LINE)
+        assert record is not None
+        assert record.class_name == "browse"
+        assert record.service_time == pytest.approx(0.042)
+        assert record.timestamp == pytest.approx(1_700_000_000.0)
+
+    def test_combined_format_with_trailing_duration(self):
+        record = parse_clf_line(CLF_COMBINED)
+        assert record is not None
+        assert record.class_name == "checkout"
+        assert record.service_time == pytest.approx(0.118)
+
+    def test_plain_clf_has_no_service_time(self):
+        record = parse_clf_line(CLF_NO_DURATION)
+        assert record is not None
+        assert record.service_time is None
+
+    def test_malformed_lines_return_none(self):
+        for line in (
+            "",
+            "garbage",
+            CLF_LINE[: len(CLF_LINE) // 2],  # truncated mid-line
+            '10.0.0.1 - - [not-a-date] "GET / HTTP/1.1" 200 1',
+        ):
+            assert parse_clf_line(line) is None
+
+    def test_iter_clf_skips_and_counts(self):
+        stats = IngestStats()
+        lines = [CLF_LINE, "truncated junk", "", CLF_COMBINED]
+        records = list(iter_clf(lines, stats))
+        assert len(records) == 2
+        assert stats.parsed == 2
+        assert stats.skipped.get("malformed") == 1
+        assert stats.skipped.get("blank") == 1
+
+
+class TestCsvParsing:
+    def test_header_and_rows(self):
+        stats = IngestStats()
+        lines = [
+            ",".join(CSV_HEADER),
+            "100.0,browse,0.05",
+            "100.5,purchase,0.10",
+        ]
+        records = list(iter_csv(lines, stats))
+        assert [r.class_name for r in records] == ["browse", "purchase"]
+        assert stats.parsed == 2
+
+    def test_malformed_rows_skipped_never_raise(self):
+        stats = IngestStats()
+        lines = [
+            "timestamp,class,service_time",
+            "not-a-number,browse,0.05",  # bad timestamp
+            "101.0",  # truncated row
+            "",  # blank
+            "102.0,browse,oops",  # bad duration: arrival kept
+            "103.0,,0.02",  # empty class name
+        ]
+        records = list(iter_csv(lines, stats))
+        assert len(records) == 2
+        assert stats.skipped.get("malformed") == 2
+        assert stats.skipped.get("blank") == 1
+        assert stats.skipped.get("bad_service_time") == 1
+        assert records[0].service_time is None
+        assert records[-1].class_name == "unknown"
+
+
+class TestIngestedTrace:
+    def make(self, rows):
+        return IngestedTrace(TraceRecord(*row) for row in rows)
+
+    def test_normalizes_to_first_arrival(self):
+        trace = self.make([(100.0, "a", 0.1), (101.5, "a", 0.2)])
+        np.testing.assert_allclose(trace.arrivals, [0.0, 1.5])
+        assert trace.origin == 100.0
+
+    def test_out_of_order_dropped_and_counted(self):
+        trace = self.make(
+            [(10.0, "a", None), (12.0, "a", None), (11.0, "a", None),
+             (13.0, "a", None)]
+        )
+        assert len(trace) == 3
+        assert trace.stats.skipped.get("out_of_order") == 1
+
+    def test_negative_service_time_keeps_arrival(self):
+        trace = self.make([(0.0, "a", -1.0), (1.0, "a", 0.5)])
+        assert len(trace) == 2
+        assert trace.service_samples.tolist() == [0.5]
+        assert trace.stats.skipped.get("bad_service_time") == 1
+
+    def test_zero_gap_fraction(self):
+        trace = self.make([(0.0, "a", None)] * 3 + [(1.0, "a", None)])
+        assert trace.zero_gap_fraction() == pytest.approx(2 / 3)
+
+    def test_class_service_samples_grouping(self):
+        trace = self.make(
+            [(0.0, "a", 0.1), (1.0, "b", None), (2.0, "a", 0.3),
+             (3.0, "b", 0.7)]
+        )
+        grouped = trace.class_service_samples()
+        np.testing.assert_allclose(grouped["a"], [0.1, 0.3])
+        np.testing.assert_allclose(grouped["b"], [0.7])
+
+
+class TestWindows:
+    def make(self, times):
+        return IngestedTrace(TraceRecord(t, "a", None) for t in times)
+
+    def test_empty_trace_yields_no_windows(self):
+        assert self.make([]).windows(1.0) == []
+
+    def test_zero_duration_trace_yields_one_window(self):
+        windows = self.make([5.0, 5.0, 5.0]).windows(10.0)
+        assert len(windows) == 1
+        assert windows[0].count == 3
+        assert windows[0].rate > 0
+
+    def test_interior_empty_window_kept_trailing_dropped(self):
+        # Arrivals in [0, 1) and [2, 3); window 2 ([2,3)) holds the last
+        # arrival exactly so nothing trails; gap window [1,2) must stay.
+        windows = self.make([0.1, 0.5, 2.2, 2.4]).windows(1.0)
+        counts = [w.count for w in windows]
+        assert counts == [2, 0, 2]
+        assert windows[1].rate == 0.0
+
+    def test_window_interarrivals(self):
+        windows = self.make([0.0, 0.25, 0.75]).windows(1.0)
+        np.testing.assert_allclose(windows[0].interarrivals(), [0.25, 0.5])
+
+    def test_invalid_window_width(self):
+        with pytest.raises(ValueError):
+            self.make([0.0, 1.0]).windows(0.0)
+
+
+class TestIngestFile:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        trace = ingest(path)
+        assert len(trace) == 0
+        assert trace.windows(1.0) == []
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            ingest(tmp_path / "nope.csv")
+
+    def test_format_sniffing(self, tmp_path):
+        clf = tmp_path / "a.log"
+        clf.write_text(CLF_LINE + "\n" + CLF_COMBINED + "\n")
+        csv_file = tmp_path / "a.csv"
+        csv_file.write_text("timestamp,class,service_time\n1.0,x,0.1\n")
+        assert len(ingest(clf)) == 2
+        assert len(ingest(csv_file)) == 1
+        assert ingest(clf).classes == ["browse", "checkout"]
+
+    def test_explicit_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "a.csv"
+        path.write_text("timestamp,class,service_time\n")
+        with pytest.raises(ValueError):
+            ingest(path, fmt="xml")
+
+    def test_garbage_heavy_file_never_raises(self, tmp_path):
+        path = tmp_path / "noisy.csv"
+        rows = ["timestamp,class,service_time"]
+        for i in range(50):
+            rows.append(f"{float(i)},c{i % 3},0.0{i % 9 + 1}")
+            rows.append(f"corrupt line {i}")
+        path.write_text("\n".join(rows) + "\n")
+        trace = ingest(path)
+        assert len(trace) == 50
+        assert trace.stats.skipped.get("malformed") == 50

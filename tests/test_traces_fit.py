@@ -1,0 +1,194 @@
+"""Fit stage: MLE recovery, KS goodness-of-fit, diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.etl import IngestedTrace, TraceRecord
+from repro.traces.fit import (
+    FAMILIES,
+    FitResult,
+    build_distribution,
+    exponentiality,
+    fit_best,
+    fit_family,
+    fit_trace,
+    ks_statistic,
+    ks_threshold,
+)
+
+
+class TestKs:
+    def test_perfect_fit_is_small(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(1.0, size=2000)
+        scale = samples.mean()
+        d = ks_statistic(samples, lambda x: 1.0 - np.exp(-np.asarray(x) / scale))
+        assert d < ks_threshold(samples.size)
+
+    def test_wrong_family_is_large(self):
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(0.9, 1.1, size=2000)  # nearly deterministic
+        d = ks_statistic(samples, lambda x: 1.0 - np.exp(-np.asarray(x)))
+        assert d > ks_threshold(samples.size)
+
+    def test_threshold_shrinks_with_n(self):
+        assert ks_threshold(100) < ks_threshold(10)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), lambda x: x)
+        with pytest.raises(ValueError):
+            ks_threshold(0)
+
+
+class TestExponentiality:
+    def test_exponential_like(self):
+        rng = np.random.default_rng(2)
+        cv, verdict = exponentiality(rng.exponential(1.0, size=4000))
+        assert verdict == "exponential-like"
+        assert cv == pytest.approx(1.0, abs=0.1)
+
+    def test_smooth_and_bursty(self):
+        rng = np.random.default_rng(3)
+        assert exponentiality(rng.uniform(0.9, 1.1, 500))[1] == "smooth"
+        bursty = np.concatenate(
+            [rng.exponential(0.05, 450), rng.exponential(5.0, 50)]
+        )
+        assert exponentiality(bursty)[1] == "bursty"
+
+    def test_insufficient(self):
+        assert exponentiality([1.0])[1] == "insufficient"
+
+
+class TestFamilyRecovery:
+    def test_exponential_mean_recovered(self):
+        rng = np.random.default_rng(4)
+        fit = fit_family(rng.exponential(0.25, size=3000), "exponential")
+        assert fit.params["mean"] == pytest.approx(0.25, rel=0.1)
+        assert fit.ks_pass
+
+    def test_lognormal_recovered(self):
+        rng = np.random.default_rng(5)
+        sigma = 0.6
+        mean = 0.05
+        mu = np.log(mean) - 0.5 * sigma**2
+        fit = fit_family(rng.lognormal(mu, sigma, size=3000), "lognormal")
+        assert fit.params["mean"] == pytest.approx(mean, rel=0.1)
+        assert fit.params["sigma"] == pytest.approx(sigma, rel=0.1)
+        assert fit.ks_pass
+
+    def test_hyperexponential_recovers_branches(self):
+        rng = np.random.default_rng(6)
+        samples = np.concatenate(
+            [rng.exponential(0.02, 1400), rng.exponential(1.0, 600)]
+        )
+        fit = fit_family(samples, "hyperexponential")
+        means = sorted(fit.params["means"])
+        assert means[0] == pytest.approx(0.02, rel=0.3)
+        assert means[1] == pytest.approx(1.0, rel=0.3)
+        assert fit.cv > 1.15
+
+    def test_fit_is_deterministic(self):
+        rng = np.random.default_rng(7)
+        samples = np.concatenate(
+            [rng.exponential(0.1, 500), rng.exponential(2.0, 500)]
+        )
+        a = fit_family(samples, "hyperexponential")
+        b = fit_family(samples, "hyperexponential")
+        assert a.params == b.params
+
+    def test_min_samples_enforced(self):
+        with pytest.raises(ValueError):
+            fit_family([1.0], "exponential")
+        with pytest.raises(ValueError):
+            fit_family([1.0, 2.0, 3.0], "hyperexponential")
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            fit_family([1.0, 2.0], "pareto")
+        with pytest.raises(KeyError):
+            build_distribution("pareto", {})
+
+
+class TestFitBest:
+    def test_picks_exponential_for_exponential_data(self):
+        rng = np.random.default_rng(8)
+        best = fit_best(rng.exponential(1.0, size=3000))
+        # KS is lowest for the true family (or the hyperexponential that
+        # degenerates to it); either way the fit must be accepted.
+        assert best.ks_pass
+        assert best.mean == pytest.approx(1.0, rel=0.1)
+
+    def test_picks_heavier_family_for_bimodal_data(self):
+        rng = np.random.default_rng(9)
+        samples = np.concatenate(
+            [rng.exponential(0.02, 1500), rng.exponential(1.5, 500)]
+        )
+        best = fit_best(samples)
+        assert best.family == "hyperexponential"
+
+    def test_no_family_fittable(self):
+        with pytest.raises(ValueError):
+            fit_best([])
+
+    def test_round_trip_through_dict(self):
+        rng = np.random.default_rng(10)
+        best = fit_best(rng.exponential(0.5, size=200))
+        clone = FitResult.from_dict(best.to_dict())
+        assert clone == best
+        assert clone.distribution().mean() == pytest.approx(
+            best.mean, rel=0.01
+        )
+
+
+class TestFitTrace:
+    def make_trace(self, times, services=None):
+        rows = [
+            TraceRecord(t, "a", None if services is None else services[i])
+            for i, t in enumerate(times)
+        ]
+        return IngestedTrace(rows)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            fit_trace(self.make_trace([]))
+
+    def test_pooled_and_windows(self):
+        rng = np.random.default_rng(11)
+        times = np.cumsum(rng.exponential(0.02, size=4000))
+        services = rng.lognormal(-3.0, 0.5, size=4000)
+        fit = fit_trace(self.make_trace(times, services), window_s=None)
+        assert fit.interarrival.mean == pytest.approx(0.02, rel=0.15)
+        assert fit.service is not None
+        assert len(fit.windows) >= 2
+        # A sparse trailing window may carry too few samples to fit, but
+        # full interior windows must all get a service model.
+        assert all(w.service is not None for w in fit.windows[:-1])
+        assert fit.arrival_verdict in ("exponential-like", "smooth", "bursty")
+
+    def test_quantized_trace_falls_back_to_rate(self):
+        # 1-second stamps at ~20/s: most gaps are exactly zero.
+        rng = np.random.default_rng(12)
+        times = np.floor(np.cumsum(rng.exponential(0.05, size=2000)))
+        fit = fit_trace(self.make_trace(times))
+        assert fit.arrival_verdict == "quantized"
+        assert fit.interarrival.family == "exponential"
+        # The fallback mean is the reciprocal of the measured rate, not
+        # the (meaningless) mean positive gap.
+        assert fit.interarrival.mean == pytest.approx(0.05, rel=0.1)
+        assert all(w.interarrival is None for w in fit.windows)
+
+    def test_class_service_fits_respect_min_samples(self):
+        rng = np.random.default_rng(13)
+        times = np.cumsum(rng.exponential(0.1, size=300))
+        rows = [
+            TraceRecord(
+                t,
+                "big" if i % 10 else "rare",
+                float(rng.lognormal(-3.0, 0.4)),
+            )
+            for i, t in enumerate(times)
+        ]
+        fit = fit_trace(IngestedTrace(rows), min_class_samples=50)
+        assert "big" in fit.class_service
+        assert "rare" not in fit.class_service

@@ -1,5 +1,10 @@
 """Random streams and sampling distributions."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -53,6 +58,12 @@ class TestStreamRegistry:
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             StreamRegistry().stream("")
+
+    def test_negative_seed_rejected_at_construction(self):
+        # Regression: a negative seed used to surface lazily at the first
+        # stream() call as an opaque SeedSequence error.
+        with pytest.raises(ValueError, match="non-negative"):
+            StreamRegistry(seed=-3)
 
     def test_names_listing(self):
         registry = StreamRegistry()
@@ -123,6 +134,71 @@ class TestSpecifics:
             Geometric(0.0)
         with pytest.raises(ValueError):
             Deterministic(-1.0)
+
+
+# One-shot script hashing every stochastic surface that feeds the trace
+# factory: named streams x distribution families, plus a generated
+# synthetic trace file.  Run in separate interpreters with different
+# PYTHONHASHSEED values, the digests must match bit-for-bit — nothing in
+# the seeding path may depend on Python's per-process string hashing.
+_BIT_IDENTITY_SCRIPT = r"""
+import hashlib
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.workload.distributions import (
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+)
+from repro.workload.rng import StreamRegistry
+
+registry = StreamRegistry(seed=7)
+draws = []
+for name in ("arrivals", "mix", "service-times", "trace-arrivals"):
+    rng = registry.stream(name)
+    for dist in (
+        Exponential(0.5),
+        LogNormal(2.0, 0.5),
+        Hyperexponential([0.1, 2.0], [0.7, 0.3]),
+    ):
+        draws.extend(dist.sample(rng) for _ in range(64))
+digest = hashlib.sha256(np.array(draws, dtype=float).tobytes())
+
+from repro.traces.synthetic import default_sample_spec, generate_synthetic_trace
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "trace.csv"
+    generate_synthetic_trace(path, default_sample_spec(seed=123))
+    digest.update(path.read_bytes())
+
+sys.stdout.write(digest.hexdigest())
+"""
+
+
+def test_cross_process_bit_identity():
+    """Same seed, different interpreters (and hash seeds) -> same bits."""
+    root = Path(__file__).resolve().parents[1]
+    digests = []
+    for hash_seed in ("0", "424242"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        env["PYTHONHASHSEED"] = hash_seed
+        result = subprocess.run(
+            [sys.executable, "-c", _BIT_IDENTITY_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(root),
+            check=False,
+        )
+        assert result.returncode == 0, result.stderr
+        digests.append(result.stdout.strip())
+    assert digests[0] == digests[1]
+    assert len(digests[0]) == 64
 
 
 def test_registry():
